@@ -1,0 +1,10 @@
+"""Bench fixtures. The suite is meant to be run as
+``pytest benchmarks/ --benchmark-only`` from the repo root."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `import common` work no matter where pytest is invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

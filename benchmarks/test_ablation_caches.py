@@ -1,0 +1,133 @@
+"""Ablations on the translation-caching hardware the paper reasons with.
+
+1. **MMU (paging-structure) caches** — §3.1: "Even though MMU caches help
+   reduce some of the accesses, at least leaf-level PTEs have to be
+   accessed." Disabling them must lengthen walks (more per-walk memory
+   references) without changing the *relative* Mitosis story.
+2. **Page-table LLC capacity** — §8.2's GUPS analysis: when the leaf level
+   fits in the socket's cache, remote placement stops mattering; when it
+   does not, every walk pays the NUMA penalty.
+3. **5-level paging** — the introduction's warning: one more level makes
+   remote page-tables hurt more, and Mitosis's repair matters more.
+"""
+
+from common import FOOTPRINT_WM, emit, engine
+
+from repro.analysis.report import render_table
+from repro.sim import run_migration
+from repro.tlb.mmu_cache import MmuCacheConfig
+from repro.units import KIB, MIB
+
+
+def test_ablation_mmu_caches(benchmark):
+    def run():
+        with_caches = run_migration(
+            "gups", "RP-LD", footprint=FOOTPRINT_WM, engine=engine(accesses=5_000)
+        )
+        no_caches = run_migration(
+            "gups",
+            "RP-LD",
+            footprint=FOOTPRINT_WM,
+            engine=engine(accesses=5_000, mmu=MmuCacheConfig(entries_per_level={})),
+        )
+        return with_caches, no_caches
+
+    with_caches, no_caches = benchmark.pedantic(run, rounds=1, iterations=1)
+    refs_with = with_caches.metrics.threads[0].walk_memory_refs / max(
+        1, with_caches.metrics.threads[0].tlb_walks
+    )
+    refs_without = no_caches.metrics.threads[0].walk_memory_refs / max(
+        1, no_caches.metrics.threads[0].tlb_walks
+    )
+    emit(
+        "ablation_mmu_caches",
+        "Ablation: paging-structure caches (GUPS, RP-LD)\n\n"
+        + render_table(
+            ["config", "refs/walk", "walk cycles"],
+            [
+                ["MMU caches on", f"{refs_with:.2f}", f"{with_caches.metrics.walk_cycles:.3e}"],
+                ["MMU caches off", f"{refs_without:.2f}", f"{no_caches.metrics.walk_cycles:.3e}"],
+            ],
+        ),
+    )
+    # Without PSCs every walk touches all four levels; with them, walks
+    # shorten — but never below one reference (the leaf PTE, §3.1).
+    assert refs_without > 3.5
+    assert refs_with < refs_without - 1.0
+    assert refs_with >= 1.0
+    assert no_caches.metrics.walk_cycles > with_caches.metrics.walk_cycles
+
+
+def test_ablation_pt_llc_capacity(benchmark):
+    # A small footprint + a long run lets the big-cache case actually warm
+    # up (8 MiB of data -> 1024 leaf PTE lines).
+    footprint = 8 * MIB
+
+    def run():
+        table = {}
+        for label, capacity in (("2 KiB", 2 * KIB), ("16 KiB", 16 * KIB), ("1 MiB", 1 * MIB)):
+            result = run_migration(
+                "gups",
+                "RP-LD",
+                footprint=footprint,
+                engine=engine(accesses=25_000, pt_llc_bytes=capacity),
+            )
+            base = run_migration(
+                "gups",
+                "LP-LD",
+                footprint=footprint,
+                engine=engine(accesses=25_000, pt_llc_bytes=capacity),
+            )
+            table[label] = result.runtime_cycles / base.runtime_cycles
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_pt_llc",
+        "Ablation: LLC capacity visible to page-table lines (GUPS, RP-LD vs LP-LD)\n\n"
+        + render_table(
+            ["pt-visible LLC", "remote-PT slowdown"],
+            [[label, f"{v:.2f}x"] for label, v in table.items()],
+        ),
+    )
+    # Once the whole leaf level fits in the cache, remote page-tables stop
+    # mattering (the §8.2 GUPS effect); tiny caches expose the full penalty.
+    assert table["2 KiB"] > table["16 KiB"] > table["1 MiB"]
+    assert table["1 MiB"] < 1.15
+    assert table["2 KiB"] > 1.4
+
+
+def test_ablation_5level_paging(benchmark):
+    def run():
+        out = {}
+        for levels in (4, 5):
+            base = run_migration(
+                "gups", "LP-LD", footprint=FOOTPRINT_WM, engine=engine(accesses=5_000),
+                levels=levels,
+            )
+            bad = run_migration(
+                "gups", "RPI-LD", footprint=FOOTPRINT_WM, engine=engine(accesses=5_000),
+                levels=levels,
+            )
+            fixed = run_migration(
+                "gups", "RPI-LD", mitosis=True, footprint=FOOTPRINT_WM,
+                engine=engine(accesses=5_000), levels=levels,
+            )
+            out[levels] = (
+                bad.runtime_cycles / base.runtime_cycles,
+                bad.runtime_cycles / fixed.runtime_cycles,
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_5level",
+        "Ablation: 4-level vs 5-level paging (GUPS, RPI-LD)\n\n"
+        + render_table(
+            ["levels", "remote-PT slowdown", "Mitosis speedup"],
+            [[lvl, f"{s:.2f}x", f"{m:.2f}x"] for lvl, (s, m) in out.items()],
+        ),
+    )
+    # Five-level walks leave at least as much on the table for Mitosis.
+    assert out[5][1] >= out[4][1] * 0.95
+    assert out[5][0] > 1.5 and out[4][0] > 1.5

@@ -1,0 +1,56 @@
+"""Ablation: how the problem and the remedy scale with socket count.
+
+§4.1: "multi-socket workloads will, assuming a uniform distribution of
+page-table pages, have (N-1)/N PTEs pointing to remote pages for an
+N-socket system" — so both the expected remote fraction and the headroom
+Mitosis can reclaim grow with N. We sweep 2/4/8 sockets under interleaved
+placement and check the law and the monotonicity.
+"""
+
+from common import emit, engine
+
+from repro.analysis.report import render_table
+from repro.sim.scenario import measure, setup_multisocket
+from repro.units import MIB
+
+SOCKET_COUNTS = (2, 4, 8)
+FOOTPRINT = 48 * MIB
+
+
+def sweep():
+    eng = engine(accesses=4_000)
+    rows = {}
+    for n in SOCKET_COUNTS:
+        base = setup_multisocket("xsbench", "I", footprint=FOOTPRINT, n_sockets=n)
+        remote = base.observed_remote_leaf()
+        base_result = measure(base, eng)
+        repl = setup_multisocket("xsbench", "I+M", footprint=FOOTPRINT, n_sockets=n)
+        repl_result = measure(repl, eng)
+        rows[n] = (
+            sum(remote.values()) / len(remote),
+            base_result.runtime_cycles / repl_result.runtime_cycles,
+        )
+    return rows
+
+
+def test_remote_fraction_follows_n_minus_1_over_n(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_socket_scaling",
+        "Ablation (§4.1): socket-count scaling (xsbench, interleaved)\n\n"
+        + render_table(
+            ["sockets", "remote leaf PTEs", "(N-1)/N", "Mitosis speedup"],
+            [
+                [n, f"{remote:.1%}", f"{(n - 1) / n:.1%}", f"{speedup:.2f}x"]
+                for n, (remote, speedup) in rows.items()
+            ],
+        ),
+    )
+    for n, (remote, speedup) in rows.items():
+        expected = (n - 1) / n
+        assert abs(remote - expected) < 0.08, n
+        assert speedup > 1.02, n
+    # More sockets -> more remote PTEs -> more for Mitosis to win back.
+    speedups = [rows[n][1] for n in SOCKET_COUNTS]
+    assert speedups[-1] >= speedups[0]
+    benchmark.extra_info.update({str(n): round(rows[n][1], 3) for n in SOCKET_COUNTS})

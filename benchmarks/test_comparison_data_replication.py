@@ -1,0 +1,101 @@
+"""Comparison bench: page-table replication vs data replication (§2.3).
+
+The paper's argument for attacking page-tables instead of (or before)
+data: "data replication has high memory overheads ... page-table
+replication is equally important — it incurs negligible memory overhead,
+can be implemented efficiently and delivers substantial performance
+improvement." We run a read-only multi-socket workload (XSBench) under:
+
+* F           — first-touch baseline,
+* F+M         — Mitosis page-table replication,
+* F+M+Carrefour — Mitosis plus full data replication on top,
+
+and report runtime and extra physical memory for each.
+"""
+
+import pytest
+from common import FOOTPRINT_MS, emit, engine
+
+from repro.analysis.report import render_table
+from repro.datarepl.manager import DataReplicationManager
+from repro.sim.scenario import measure, setup_multisocket
+from repro.units import fmt_bytes
+
+
+def run_comparison():
+    eng = engine(accesses=5_000)
+    rows = {}
+
+    base = setup_multisocket("xsbench", "F", footprint=FOOTPRINT_MS)
+    rows["F (baseline)"] = (measure(base, eng), 0)
+
+    mitosis = setup_multisocket("xsbench", "F+M", footprint=FOOTPRINT_MS)
+    pt_extra = 3 * mitosis.kernel.physmem.page_table_bytes() // 4
+    rows["F+M (Mitosis)"] = (measure(mitosis, eng), pt_extra)
+
+    both = setup_multisocket("xsbench", "F+M", footprint=FOOTPRINT_MS)
+    manager = DataReplicationManager(both.kernel)
+    manager.replicate_pages(both.process)
+    pt_extra_both = 3 * both.kernel.physmem.page_table_bytes() // 4
+    data_extra = manager.extra_bytes(both.process)
+    rows["F+M+data-replication"] = (measure(both, eng), pt_extra_both + data_extra)
+    return rows
+
+
+def test_pagetable_vs_data_replication(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    base_runtime = rows["F (baseline)"][0].runtime_cycles
+
+    table = [
+        [
+            name,
+            f"{result.runtime_cycles / base_runtime:.2f}",
+            f"{result.walk_cycle_fraction:.0%}",
+            fmt_bytes(extra),
+            f"{extra / FOOTPRINT_MS:.1%}",
+        ]
+        for name, (result, extra) in rows.items()
+    ]
+    emit(
+        "comparison_data_replication",
+        "Comparison (§2.3): replicating page-tables vs replicating data "
+        "(xsbench, 4 sockets, read-only)\n\n"
+        + render_table(
+            ["configuration", "norm. runtime", "walk frac", "extra memory", "of footprint"],
+            table,
+        ),
+    )
+
+    mitosis_result, mitosis_extra = rows["F+M (Mitosis)"]
+    both_result, both_extra = rows["F+M+data-replication"]
+    # Mitosis alone: substantial improvement for ~free.
+    assert mitosis_result.runtime_cycles < base_runtime * 0.95
+    assert mitosis_extra / FOOTPRINT_MS < 0.01
+    # Data replication buys additional locality (reads now local too)...
+    assert both_result.runtime_cycles <= mitosis_result.runtime_cycles
+    # ...at a memory cost orders of magnitude beyond Mitosis'.
+    assert both_extra > 100 * mitosis_extra
+    assert both_extra / FOOTPRINT_MS > 2.5
+    benchmark.extra_info["mitosis_overhead"] = round(mitosis_extra / FOOTPRINT_MS, 5)
+    benchmark.extra_info["data_overhead"] = round(both_extra / FOOTPRINT_MS, 3)
+
+
+def test_write_invalidation_cost(benchmark):
+    """Write-heavy pages make data replication counterproductive — every
+    write collapses a page (copy + shootdown), which is why Carrefour
+    restricts itself to read-mostly pages and why GUPS-style workloads get
+    nothing from data replication."""
+
+    def run():
+        setup = setup_multisocket("xsbench", "F+M", footprint=FOOTPRINT_MS)
+        manager = DataReplicationManager(setup.kernel)
+        manager.replicate_pages(setup.process, max_pages=256)
+        vas = sorted(setup.process.mm.frames)[:256]
+        cycles = sum(manager.handle_write(setup.process, va, 0) for va in vas)
+        return cycles, manager.stats.collapses
+
+    cycles, collapses = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert collapses == 256
+    # Each collapse costs thousands of cycles — per *write*, where Mitosis
+    # pays a handful of extra cycles per page-table *update*.
+    assert cycles / collapses > 2_000

@@ -1,0 +1,73 @@
+"""Fig. 1: the paper's headline summary.
+
+Top tables: remote/local leaf-PTE percentages — per socket for a
+multi-socket workload (Canneal under first-touch) and for a single-socket
+workload after migration (GUPS, 100% remote). Bottom graphs: Canneal's
+multi-socket speedup with Mitosis (paper: up to 1.34x) and GUPS's
+workload-migration speedup (paper: 3.24x).
+"""
+
+from common import FOOTPRINT_MS, FOOTPRINT_WM, emit, engine
+
+from repro.analysis.report import render_table
+from repro.sim import run_migration, run_multisocket
+
+
+def run_summary():
+    eng = engine()
+    canneal = {
+        config: run_multisocket("canneal", config, footprint=FOOTPRINT_MS, engine=eng)
+        for config in ("I", "I+M")
+    }
+    gups = {
+        "local (LP-LD)": run_migration("gups", "LP-LD", footprint=FOOTPRINT_WM, engine=eng),
+        "remote (RPI-LD)": run_migration("gups", "RPI-LD", footprint=FOOTPRINT_WM, engine=eng),
+        "Mitosis (RPI-LD+M)": run_migration(
+            "gups", "RPI-LD", mitosis=True, footprint=FOOTPRINT_WM, engine=eng
+        ),
+    }
+    return canneal, gups
+
+
+def test_fig1_summary(benchmark):
+    canneal, gups = benchmark.pedantic(run_summary, rounds=1, iterations=1)
+
+    remote = canneal["I"].remote_leaf_fraction
+    top_left = render_table(
+        ["", *(f"socket {s}" for s in sorted(remote))],
+        [
+            ["remote", *(f"{remote[s]:.0%}" for s in sorted(remote))],
+            ["local", *(f"{1 - remote[s]:.0%}" for s in sorted(remote))],
+        ],
+    )
+    gups_remote = gups["remote (RPI-LD)"].remote_leaf_fraction[0]
+    canneal_speedup = canneal["I"].runtime_cycles / canneal["I+M"].runtime_cycles
+    base = gups["local (LP-LD)"].runtime_cycles
+    bottom = render_table(
+        ["bar", "normalized runtime"],
+        [[name, result.runtime_cycles / base] for name, result in gups.items()],
+    )
+    gups_speedup = gups["remote (RPI-LD)"].runtime_cycles / gups["Mitosis (RPI-LD+M)"].runtime_cycles
+
+    emit(
+        "fig01_summary",
+        "Fig. 1 (reproduced)\n\n"
+        "Canneal, multi-socket, leaf PTE locality per socket:\n"
+        f"{top_left}\n\n"
+        f"Canneal Mitosis speedup: {canneal_speedup:.2f}x (paper: 1.34x)\n\n"
+        "GUPS, workload migration, single socket: "
+        f"remote leaf PTEs = {gups_remote:.0%} (paper: 100%)\n"
+        f"{bottom}\n"
+        f"GUPS Mitosis speedup: {gups_speedup:.2f}x (paper: 3.24x)",
+    )
+
+    # Paper claims, qualitatively: multi-socket sockets see most leaf PTEs
+    # remote; migration leaves 100% remote; Mitosis repairs both.
+    assert all(0.5 < f < 0.9 for f in remote.values())
+    assert gups_remote == 1.0
+    assert all(f == 0.0 for f in canneal["I+M"].remote_leaf_fraction.values())
+    assert canneal_speedup > 1.1
+    assert gups_speedup > 2.0
+    assert gups["Mitosis (RPI-LD+M)"].runtime_cycles <= base * 1.05
+    benchmark.extra_info["canneal_speedup"] = round(canneal_speedup, 3)
+    benchmark.extra_info["gups_speedup"] = round(gups_speedup, 3)

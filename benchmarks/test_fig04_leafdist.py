@@ -1,0 +1,44 @@
+"""Fig. 4: percentage of remote leaf PTEs observed from each socket, for
+the six multi-socket workloads (first-touch, 4 KiB, AutoNUMA off).
+
+The paper's observations: most sockets see ~(N-1)/N of leaf PTEs remote;
+serial initialisers (Graph500) skew placement to one socket so the other
+three see ~100%; skews up to 99% occur.
+"""
+
+from common import emit
+
+from repro.analysis.leafdist import fig4_distributions, render_fig4
+from repro.units import MIB
+from repro.workloads.registry import MULTISOCKET_WORKLOADS
+
+
+def test_fig4_remote_leaf_distribution(benchmark):
+    distributions = benchmark.pedantic(
+        fig4_distributions,
+        kwargs=dict(workloads=MULTISOCKET_WORKLOADS, footprint=48 * MIB),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig04_leafdist",
+        "Fig. 4 (reproduced): % remote leaf PTEs per socket\n\n"
+        + render_fig4(distributions),
+    )
+    by_name = {d.workload: d.remote_fraction for d in distributions}
+    assert set(by_name) == set(MULTISOCKET_WORKLOADS)
+
+    # Every workload: a significant remote fraction on at least 3 sockets.
+    for name, fractions in by_name.items():
+        high = [s for s, f in fractions.items() if f > 0.5]
+        assert len(high) >= 3, name
+
+    # Graph500's serial generator: one local socket, three ~100% remote.
+    g500 = by_name["graph500"]
+    assert min(g500.values()) == 0.0
+    assert sorted(g500.values())[1:] == [1.0, 1.0, 1.0]
+
+    # Parallel initialisers: everyone near (N-1)/N = 75%.
+    for name in ("canneal", "memcached", "xsbench", "hashjoin", "btree"):
+        for fraction in by_name[name].values():
+            assert 0.55 < fraction < 0.95, name

@@ -1,0 +1,55 @@
+"""Fig. 6: normalized runtime of all eight migration-scenario workloads
+under the seven Table 2 placement configurations (4 KiB pages).
+
+Paper observations asserted here:
+1. significant walk-cycle fractions across the board;
+2. LP-LD is the fastest configuration;
+3. remote page-tables (RP*-LD) hurt comparably to — and with interference
+   can hurt more than — remote data (LP-RD*);
+4. RP-RD / RPI-RDI is the worst placement for every workload.
+"""
+
+import pytest
+from common import FOOTPRINT_WM, emit, engine
+
+from repro.sim import run_migration
+from repro.sim.runner import normalize, render_figure
+from repro.sim.scenario import MIGRATION_CONFIGS
+from repro.workloads.registry import MIGRATION_WORKLOADS
+
+CONFIG_ORDER = list(MIGRATION_CONFIGS)
+
+
+def run_workload(workload: str):
+    eng = engine()
+    return {
+        config: run_migration(workload, config, footprint=FOOTPRINT_WM, engine=eng)
+        for config in CONFIG_ORDER
+    }
+
+
+@pytest.mark.parametrize("workload", MIGRATION_WORKLOADS)
+def test_fig6_configuration_sweep(benchmark, workload):
+    results = benchmark.pedantic(run_workload, args=(workload,), rounds=1, iterations=1)
+    bars = normalize(results, baseline="LP-LD")
+    emit(
+        f"fig06_{workload}",
+        render_figure(f"Fig. 6 (reproduced): {workload}, 4 KiB pages", {workload: bars}),
+    )
+    runtime = {config: r.runtime_cycles for config, r in results.items()}
+    base = runtime["LP-LD"]
+
+    # (2) LP-LD runs most efficiently.
+    assert base == min(runtime.values())
+    # (4) both-remote with interference is the worst placement.
+    assert max(runtime, key=runtime.get) in ("RPI-RDI", "RP-RD")
+    assert runtime["RPI-RDI"] >= runtime["RP-RD"] * 0.95
+    # (3) remote page-tables with interference hurt at least comparably to
+    # remote data for walk-heavy workloads.
+    assert runtime["RPI-LD"] > base * 1.2
+    assert runtime["RP-LD"] > base * 1.05
+    # (1) page-table walks consume a significant fraction of cycles.
+    assert results["RPI-LD"].walk_cycle_fraction > 0.3
+    benchmark.extra_info.update(
+        {config: round(cycles / base, 3) for config, cycles in runtime.items()}
+    )

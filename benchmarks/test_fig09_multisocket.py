@@ -1,0 +1,70 @@
+"""Fig. 9: multi-socket workloads under the six Table 3 configurations,
+with 4 KiB pages (9a) and transparent 2 MiB pages (9b).
+
+Asserted shape (paper §8.1): Mitosis consistently improves or matches every
+data-placement policy ("Mitosis does not cause any slowdown"), gains come
+from reduced walk cycles, and improvements persist — smaller — under THP.
+"""
+
+import pytest
+from common import FIG9_PAIRS, FOOTPRINT_MS, PAPER_FIG9A, emit, engine
+
+from repro.sim import run_multisocket
+from repro.sim.runner import normalize, render_figure
+from repro.sim.scenario import MULTISOCKET_CONFIGS
+from repro.workloads.registry import MULTISOCKET_WORKLOADS
+
+
+def run_workload(workload: str, thp: bool):
+    eng = engine(accesses=5_000)
+    return {
+        config: run_multisocket(
+            workload, config, thp=thp, footprint=FOOTPRINT_MS, engine=eng
+        )
+        for config in MULTISOCKET_CONFIGS
+    }
+
+
+def check_and_render(workload, results, thp):
+    bars = normalize(results, baseline="F", pairs=FIG9_PAIRS)
+    label = "b" if thp else "a"
+    title = f"Fig. 9{label} (reproduced): {workload}, {'2 MiB' if thp else '4 KiB'} pages"
+    paper = PAPER_FIG9A.get(workload, {})
+    lines = [render_figure(title, {workload: bars})]
+    speedups = {}
+    for mitosis_config, plain_config in FIG9_PAIRS.items():
+        speedup = results[plain_config].runtime_cycles / results[mitosis_config].runtime_cycles
+        speedups[mitosis_config] = speedup
+        reference = f" (paper 4KiB: {paper[mitosis_config]:.2f}x)" if paper else ""
+        lines.append(f"  {mitosis_config:>7} vs {plain_config:<4}: {speedup:.2f}x{reference}")
+    emit(f"fig09{label}_{workload}", "\n".join(lines))
+
+    # Mitosis never slows a configuration down...
+    for mitosis_config, plain_config in FIG9_PAIRS.items():
+        assert speedups[mitosis_config] > 0.99, (workload, mitosis_config)
+        # ...and the win comes from walk cycles.
+        assert (
+            results[mitosis_config].metrics.walk_cycles
+            <= results[plain_config].metrics.walk_cycles * 1.01
+        )
+        # Replication leaves no remote leaf PTEs anywhere.
+        assert all(
+            f == 0.0 for f in results[mitosis_config].remote_leaf_fraction.values()
+        )
+    return speedups
+
+
+@pytest.mark.parametrize("workload", MULTISOCKET_WORKLOADS)
+def test_fig9a_4k_pages(benchmark, workload):
+    results = benchmark.pedantic(run_workload, args=(workload, False), rounds=1, iterations=1)
+    speedups = check_and_render(workload, results, thp=False)
+    # 4 KiB: the headline gains are tangible for TLB-hungry workloads.
+    assert max(speedups.values()) > 1.03
+    benchmark.extra_info.update({k: round(v, 3) for k, v in speedups.items()})
+
+
+@pytest.mark.parametrize("workload", MULTISOCKET_WORKLOADS)
+def test_fig9b_thp_pages(benchmark, workload):
+    results = benchmark.pedantic(run_workload, args=(workload, True), rounds=1, iterations=1)
+    speedups = check_and_render(workload, results, thp=True)
+    benchmark.extra_info.update({k: round(v, 3) for k, v in speedups.items()})

@@ -1,0 +1,70 @@
+"""Table 4: memory overhead of page-table replication.
+
+The model is analytic and must match the paper's printed numbers exactly
+(to three decimals). A measured cross-check builds a live page-table in
+the simulator and verifies the model against reality.
+"""
+
+from common import emit
+import pytest
+
+from repro.analysis.overhead import (
+    TABLE4_FOOTPRINTS,
+    TABLE4_REPLICAS,
+    mem_overhead,
+    pt_size_bytes,
+    render_table4,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.sysctl import MitosisMode, Sysctl
+from repro.machine.topology import Machine
+from repro.units import GIB, MIB, TIB
+
+PAPER_TABLE4 = {
+    1 * MIB: [1.0, 1.015, 1.046, 1.108, 1.231],
+    1 * GIB: [1.0, 1.002, 1.006, 1.014, 1.029],
+    1 * TIB: [1.0, 1.002, 1.006, 1.014, 1.029],
+    16 * TIB: [1.0, 1.002, 1.006, 1.014, 1.029],
+}
+
+
+def compute_table4():
+    return {
+        fp: [round(mem_overhead(fp, r), 3) for r in TABLE4_REPLICAS]
+        for fp in TABLE4_FOOTPRINTS
+    }
+
+
+def test_table4_exact_match(benchmark):
+    table = benchmark.pedantic(compute_table4, rounds=3, iterations=1)
+    emit("table4_memory_overhead", render_table4())
+    assert table == PAPER_TABLE4
+    # PT sizes as printed: 0.02 MB / 2.01 MB / 2.00 GB / 32.0 GB.
+    assert pt_size_bytes(1 * MIB) == 16 * 1024
+    assert abs(pt_size_bytes(1 * GIB) / MIB - 2.01) < 0.01
+    assert abs(pt_size_bytes(1 * TIB) / GIB - 2.00) < 0.01
+    assert abs(pt_size_bytes(16 * TIB) / GIB - 32.06) < 0.05
+
+
+def test_table4_measured_cross_check(benchmark):
+    """Replicate a real 16 MiB compact mapping 2-way and compare measured
+    page-table bytes against the analytic model."""
+    footprint = 16 * MIB
+
+    def build_and_measure():
+        machine = Machine.homogeneous(2, cores_per_socket=1, memory_per_socket=128 * MIB)
+        kernel = Kernel(machine, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+        process = kernel.create_process("tab4", socket=0)
+        # Compact address space (VAs 0..footprint), as Table 4 assumes.
+        kernel.sys_mmap(process, footprint, fixed_va=0, populate=True)
+        single = kernel.physmem.page_table_bytes()
+        kernel.mitosis.set_replication_mask(process, frozenset({0, 1}))
+        replicated = kernel.physmem.page_table_bytes()
+        return single, replicated
+
+    single, replicated = benchmark.pedantic(build_and_measure, rounds=1, iterations=1)
+    # Model cross-check: measured == analytic, and the 2-replica overhead
+    # ratio matches mem_overhead exactly.
+    assert single == pt_size_bytes(footprint)
+    measured_ratio = (footprint + replicated) / (footprint + single)
+    assert measured_ratio == pytest.approx(mem_overhead(footprint, 2), abs=0.002)

@@ -1,0 +1,116 @@
+"""Table 5: runtime overhead of Mitosis on VM syscalls, 4-way replication.
+
+The paper micro-benchmarks mmap (MAP_POPULATE), mprotect and munmap over
+4 KB / 8 MB / 4 GB regions with Mitosis on and off and reports the on/off
+cycle ratio. Paper shape: mmap ~1.01-1.02x (dominated by page zeroing),
+munmap ~1.35-1.39x, mprotect ~3.2-3.3x (pure PTE read-modify-write, the
+replication factor bites hardest but stays below 4x).
+
+Regions scale to 4 KB / 8 MB / 128 MB (the paper's 4 GB of 4 KiB PTEs is
+pure repetition — the per-page asymptote is already reached at 8 MB).
+"""
+
+import pytest
+from common import PAPER_TABLE5, emit
+
+from repro.analysis.report import render_table
+from repro.kernel.kernel import Kernel
+from repro.kernel.sysctl import MitosisMode, Sysctl
+from repro.machine.topology import Machine
+from repro.paging.pte import PTE_USER
+from repro.units import KIB, MIB
+
+REGIONS = {"4KB": 4 * KIB, "8MB": 8 * MIB, "128MB": 128 * MIB}
+N_SOCKETS = 4
+
+
+def measure_ops(replicated: bool) -> dict[str, dict[str, float]]:
+    """Cycles for each (operation, region) with or without 4-way Mitosis."""
+    machine = Machine.homogeneous(N_SOCKETS, cores_per_socket=1, memory_per_socket=256 * MIB)
+    kernel = Kernel(machine, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+    cycles: dict[str, dict[str, float]] = {"mmap": {}, "mprotect": {}, "munmap": {}}
+    region_base = 1 << 30
+    for label, size in REGIONS.items():
+        process = kernel.create_process(f"t5-{label}", socket=0)
+        if replicated:
+            kernel.mitosis.replicate_on_all_sockets(process)
+        # The paper's micro-benchmark calls the operations repeatedly, so
+        # the page-table chain around the region is warm; keep it alive
+        # with an adjacent page so a 4 KiB mmap measures the operation, not
+        # one-time table construction.
+        kernel.sys_mmap(process, 4 * KIB, fixed_va=region_base + size, populate=True)
+        mmap = kernel.sys_mmap(process, size, fixed_va=region_base, populate=True)
+        prot = kernel.sys_mprotect(process, mmap.value, size, PTE_USER)
+        unmap = kernel.sys_munmap(process, mmap.value, size)
+        cycles["mmap"][label] = mmap.cycles
+        cycles["mprotect"][label] = prot.cycles
+        cycles["munmap"][label] = unmap.cycles
+        kernel.destroy_process(process)
+    return cycles
+
+
+def test_table5_vma_operation_overheads(benchmark):
+    def run():
+        off = measure_ops(replicated=False)
+        on = measure_ops(replicated=True)
+        return {
+            op: {region: on[op][region] / off[op][region] for region in REGIONS}
+            for op in off
+        }
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for op in ("mmap", "mprotect", "munmap"):
+        rows.append(
+            [op]
+            + [f"{ratios[op][region]:.3f}x" for region in REGIONS]
+            + [f"(paper: {PAPER_TABLE5[op]['4KB']:.2f} / "
+               f"{PAPER_TABLE5[op]['8MB']:.2f} / {PAPER_TABLE5[op]['4GB']:.2f})"]
+        )
+    emit(
+        "table5_vma_ops",
+        "Table 5 (reproduced): Mitosis overhead on VM syscalls, 4-way replication\n\n"
+        + render_table(["operation", *REGIONS, "paper 4KB/8MB/4GB"], rows),
+    )
+
+    large = "128MB"
+    # mmap: replication hides behind data zeroing — even at 4 KiB.
+    assert ratios["mmap"][large] < 1.10
+    assert ratios["mmap"]["4KB"] < 1.15
+    # munmap: clearly visible but far below the replication factor.
+    assert 1.1 < ratios["munmap"][large] < 2.0
+    # mprotect: the expensive one — a large multiple of baseline, but still
+    # below the 4x replication factor (the paper's observation).
+    assert 2.0 < ratios["mprotect"][large] < 4.0
+    # Ordering matches the paper: mprotect >> munmap > mmap.
+    assert ratios["mprotect"][large] > ratios["munmap"][large] > ratios["mmap"][large]
+    # Small regions: fixed syscall/shootdown cost dilutes the overhead.
+    assert ratios["mprotect"]["4KB"] < ratios["mprotect"][large]
+    for op in ratios:
+        benchmark.extra_info[op] = round(ratios[op][large], 3)
+
+
+def test_table5_scaling_with_replication_factor(benchmark):
+    """mprotect cost grows with the number of replicas (it is ~pure PTE
+    work), while mmap stays flat (zeroing dominates)."""
+
+    def run():
+        results = {}
+        for n_replicas in (1, 2, 4):
+            machine = Machine.homogeneous(4, cores_per_socket=1, memory_per_socket=128 * MIB)
+            kernel = Kernel(machine, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+            process = kernel.create_process("t5", socket=0)
+            if n_replicas > 1:
+                kernel.mitosis.set_replication_mask(process, frozenset(range(n_replicas)))
+            mmap = kernel.sys_mmap(process, 8 * MIB, populate=True)
+            prot = kernel.sys_mprotect(process, mmap.value, 8 * MIB, PTE_USER)
+            results[n_replicas] = (mmap.cycles, prot.cycles)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    mmap1, prot1 = results[1]
+    mmap4, prot4 = results[4]
+    assert prot4 / prot1 > 2.0
+    assert prot4 / prot1 > (results[2][1] / prot1)
+    assert mmap4 / mmap1 < 1.1

@@ -1,0 +1,101 @@
+"""Tables 1-3: the paper's configuration catalogues, as code.
+
+These tables define *what* gets run rather than report measurements; the
+bench renders each from the registry/scenario code and asserts the
+catalogue matches the paper row for row.
+"""
+
+from common import emit
+
+from repro.analysis.report import render_table
+from repro.sim.scenario import MIGRATION_CONFIGS, MULTISOCKET_CONFIGS
+from repro.units import GIB
+from repro.workloads.registry import (
+    MIGRATION_WORKLOADS,
+    MULTISOCKET_WORKLOADS,
+    WORKLOADS,
+)
+
+
+def test_table1_workload_catalogue(benchmark):
+    def render():
+        rows = []
+        for name, cls in sorted(WORKLOADS.items()):
+            if name == "stream":
+                continue  # STREAM is §3.2 methodology, not a Table 1 row
+            profile = cls.profile
+            rows.append(
+                [
+                    name,
+                    profile.description,
+                    f"{profile.paper_footprint_ms // GIB}GB" if profile.paper_footprint_ms else "-",
+                    f"{profile.paper_footprint_wm // GIB}GB" if profile.paper_footprint_wm else "-",
+                ]
+            )
+        return render_table(["workload", "description", "MS", "WM"], rows)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    emit("table1_workloads", "Table 1 (reproduced): workload catalogue\n\n" + text)
+
+    assert set(MULTISOCKET_WORKLOADS) == {
+        "memcached", "graph500", "hashjoin", "canneal", "xsbench", "btree",
+    }
+    assert set(MIGRATION_WORKLOADS) == {
+        "hashjoin", "canneal", "xsbench", "btree", "liblinear", "pagerank", "gups", "redis",
+    }
+    # Paper footprints, spot-checked against Table 1.
+    assert WORKLOADS["memcached"].profile.paper_footprint_ms == 350 * GIB
+    assert WORKLOADS["hashjoin"].profile.paper_footprint_ms == 480 * GIB
+    assert WORKLOADS["hashjoin"].profile.paper_footprint_wm == 17 * GIB
+    assert WORKLOADS["gups"].profile.paper_footprint_wm == 64 * GIB
+    assert WORKLOADS["redis"].profile.paper_footprint_wm == 75 * GIB
+
+
+def test_table2_migration_configs(benchmark):
+    def render():
+        rows = []
+        for config in MIGRATION_CONFIGS.values():
+            rows.append(
+                [
+                    config.name,
+                    "A: Local PT" if config.pt_local else "B: Remote PT",
+                    "A: Local Data" if config.data_local else "B: Remote Data",
+                    ("PT" if config.interfere_pt else "")
+                    + ("&" if config.interfere_pt and config.interfere_data else "")
+                    + ("Data" if config.interfere_data else "")
+                    or "-",
+                ]
+            )
+        return render_table(["config", "page-table", "data", "interference"], rows)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    emit("table2_configs", "Table 2 (reproduced): migration configurations\n\n" + text)
+
+    assert list(MIGRATION_CONFIGS) == [
+        "LP-LD", "LP-RD", "LP-RDI", "RP-LD", "RPI-LD", "RP-RD", "RPI-RDI",
+    ]
+    # Semantics, row by row (Table 2).
+    assert MIGRATION_CONFIGS["LP-LD"].hogged_nodes() == frozenset()
+    assert MIGRATION_CONFIGS["LP-RDI"].hogged_nodes() == {1}
+    assert MIGRATION_CONFIGS["RPI-LD"].pt_socket == 1
+    assert MIGRATION_CONFIGS["RPI-LD"].data_socket == 0
+    assert MIGRATION_CONFIGS["RPI-RDI"].hogged_nodes() == {1}
+    assert MIGRATION_CONFIGS["RP-RD"].pt_socket == MIGRATION_CONFIGS["RP-RD"].data_socket == 1
+
+
+def test_table3_multisocket_configs(benchmark):
+    def render():
+        description = {
+            "F": ("first-touch", "first-touch"),
+            "F+M": ("first-touch", "Mitosis replication"),
+            "F-A": ("first-touch + AutoNUMA", "first-touch"),
+            "F-A+M": ("first-touch + AutoNUMA", "Mitosis replication"),
+            "I": ("interleaved", "interleaved"),
+            "I+M": ("interleaved", "Mitosis replication"),
+        }
+        rows = [[c, *description[c]] for c in MULTISOCKET_CONFIGS]
+        return render_table(["config", "data pages", "page-table pages"], rows)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    emit("table3_configs", "Table 3 (reproduced): multi-socket configurations\n\n" + text)
+    assert MULTISOCKET_CONFIGS == ("F", "F+M", "F-A", "F-A+M", "I", "I+M")

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Automatic, counter-driven Mitosis (paper §6.1, implemented).
+
+The paper sketches a system-wide policy that watches hardware performance
+counters (TLB miss rates, page-walk cycles) and enables replication or
+migration automatically — and leaves it as future work. This example runs
+that daemon:
+
+* a multi-socket XSBench process gets *replicated* page-tables the moment
+  its walk-cycle pressure crosses the trigger;
+* a single-socket GUPS process stranded away from its page-tables (the
+  post-OS-migration state) gets them *migrated* back;
+* a short-running, low-pressure process is deliberately left alone — the
+  copy cost could never be amortised.
+
+Run: ``python examples/auto_policy.py``
+"""
+
+from repro import Kernel, Sysctl
+from repro.kernel import FixedNodePolicy, MitosisMode
+from repro.machine import four_socket
+from repro.mitosis import MitosisDaemon, ReplicationTrigger
+from repro.sim import EngineConfig, Simulator
+from repro.units import MIB
+from repro.workloads import create
+
+FOOTPRINT = 32 * MIB
+TRIGGER = ReplicationTrigger(
+    min_walk_cycle_fraction=0.10, min_tlb_miss_rate=0.05, min_runtime_cycles=1e5
+)
+
+
+def supervised_run(kernel, process, workload, va, sockets, epochs=5):
+    kernel.mitosis.trigger = TRIGGER
+    daemon = MitosisDaemon(manager=kernel.mitosis, process=process)
+    config = EngineConfig(
+        accesses_per_thread=8_000, epochs=epochs, epoch_callback=daemon.callback()
+    )
+    metrics = Simulator(kernel, config).run(process, workload, sockets, va)
+    return daemon, metrics
+
+
+def fresh_kernel():
+    return Kernel(
+        four_socket(memory_per_socket=FOOTPRINT + 96 * MIB),
+        sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS),
+    )
+
+
+def case_multisocket():
+    print("1. multi-socket XSBench under first-touch placement:")
+    kernel = fresh_kernel()
+    process = kernel.create_process("xsbench", socket=0)
+    for s in (1, 2, 3):
+        process.add_thread(s)
+    workload = create("xsbench", footprint=FOOTPRINT)
+    va = kernel.sys_mmap(process, FOOTPRINT, populate=True).value
+    daemon, metrics = supervised_run(kernel, process, workload, va, [0, 1, 2, 3])
+    for decision in daemon.decisions:
+        print(f"   epoch {decision.epoch}: {decision.action} — {decision.detail}")
+    print(f"   replicated: {process.mm.replicated}, final walk fraction "
+          f"{metrics.walk_cycle_fraction:.0%}\n")
+
+
+def case_stranded():
+    print("2. single-socket GUPS whose page-tables were left on socket 1:")
+    kernel = fresh_kernel()
+    process = kernel.create_process("gups", socket=0, pt_policy=FixedNodePolicy(1))
+    workload = create("gups", footprint=FOOTPRINT)
+    va = kernel.sys_mmap(process, FOOTPRINT, populate=True).value
+    daemon, metrics = supervised_run(kernel, process, workload, va, [0])
+    for decision in daemon.decisions:
+        print(f"   epoch {decision.epoch}: {decision.action} — {decision.detail}")
+    nodes = {p.node for p in process.mm.tree.iter_tables()}
+    print(f"   page-tables now on sockets {sorted(nodes)}\n")
+
+
+def case_left_alone():
+    print("3. a small streaming process (fits in TLB reach):")
+    kernel = fresh_kernel()
+    process = kernel.create_process("stream", socket=0)
+    process.add_thread(1)
+    workload = create("stream", footprint=2 * MIB)
+    va = kernel.sys_mmap(process, 2 * MIB, populate=True).value
+    daemon, metrics = supervised_run(kernel, process, workload, va, [0, 1])
+    print(f"   daemon decisions: {daemon.decisions or 'none'} "
+          f"(miss rate {metrics.tlb_miss_rate:.1%} — not worth replicating)")
+
+
+def main():
+    case_multisocket()
+    case_stranded()
+    case_left_alone()
+
+
+if __name__ == "__main__":
+    main()

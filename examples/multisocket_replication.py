@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Multi-socket scenario (paper §8.1 / Fig. 9, condensed).
+
+Runs one multi-threaded workload across all four sockets under the six
+Table 3 placement configurations — first-touch (F), first-touch with
+AutoNUMA (F-A) and interleave (I), each with and without Mitosis
+page-table replication — and prints the normalised runtimes with
+walk-cycle fractions, exactly the structure of Fig. 9a.
+
+Run: ``python examples/multisocket_replication.py [workload]``
+(default: canneal, the paper's 1.34x headline workload).
+"""
+
+import sys
+
+from repro.sim import (
+    MULTISOCKET_CONFIGS,
+    EngineConfig,
+    normalize,
+    render_figure,
+    run_multisocket,
+)
+from repro.units import MIB
+
+MITOSIS_PAIRS = {"F+M": "F", "F-A+M": "F-A", "I+M": "I"}
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "canneal"
+    engine = EngineConfig(accesses_per_thread=15_000)
+    results = {}
+    for config in MULTISOCKET_CONFIGS:
+        print(f"running {workload} / {config} ...", flush=True)
+        results[config] = run_multisocket(
+            workload, config, footprint=96 * MIB, engine=engine
+        )
+
+    bars = normalize(results, baseline="F", pairs=MITOSIS_PAIRS)
+    print()
+    print(render_figure(f"Fig. 9a (condensed): {workload}, 4 KiB pages", {workload: bars}))
+
+    print("\nremote leaf PTEs observed per socket (the Fig. 1 top-left table):")
+    for config in ("F", "F+M"):
+        fractions = results[config].remote_leaf_fraction
+        cells = "  ".join(f"s{s}:{f:4.0%}" for s, f in sorted(fractions.items()))
+        print(f"  {config:>6}: {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: build a NUMA machine, watch a remote-page-table problem
+appear, and fix it with Mitosis.
+
+This walks the paper's core story end to end on a small simulated
+machine:
+
+1. create a process on socket 0 whose page-tables land on socket 1
+   (what an OS-level process migration leaves behind);
+2. measure it — most page-walk memory references go remote;
+3. migrate the page-tables with Mitosis and measure again.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import Kernel, Sysctl
+from repro.kernel import FixedNodePolicy, MitosisMode
+from repro.machine import two_socket, paper_timings
+from repro.mitosis import migrate_page_tables
+from repro.paging import dump_tree
+from repro.sim import EngineConfig, Simulator
+from repro.units import MIB
+from repro.workloads import Gups
+
+
+def measure(kernel, process, workload, va_base):
+    simulator = Simulator(kernel, EngineConfig(accesses_per_thread=20_000))
+    metrics = simulator.run(process, workload, thread_sockets=[0], va_base=va_base)
+    return metrics
+
+
+def main():
+    footprint = 64 * MIB
+    machine = two_socket(memory_per_socket=footprint + 128 * MIB)
+    kernel = Kernel(machine, timings=paper_timings(),
+                    sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+    print(machine.describe())
+
+    # A GUPS process on socket 0 whose page-tables were left on socket 1.
+    process = kernel.create_process("gups", socket=0, pt_policy=FixedNodePolicy(1))
+    workload = Gups(footprint=footprint)
+    va = kernel.sys_mmap(process, footprint, populate=True, name="gups-table").value
+    print(f"\nmapped {footprint >> 20} MiB at 0x{va:x} "
+          f"({len(process.mm.frames)} pages, "
+          f"{process.mm.tree.table_count()} page-table pages)")
+
+    dump = dump_tree(process.mm.tree, kernel.physmem, machine.n_sockets)
+    print("\npage-table placement before Mitosis "
+          f"(remote-leaf fraction seen from socket 0: "
+          f"{dump.remote_leaf_fraction(0):.0%}):")
+    print(dump.render())
+
+    before = measure(kernel, process, workload, va)
+    print(f"\nruntime: {before.runtime_cycles:,.0f} cycles, "
+          f"{before.walk_cycle_fraction:.0%} of it in page-table walks "
+          f"(TLB miss rate {before.tlb_miss_rate:.0%})")
+
+    # The fix: migrate the page-tables to the socket the process runs on.
+    result = migrate_page_tables(kernel, process, target_socket=0)
+    print(f"\nMitosis migrated {result.tables_copied} page-table pages to "
+          f"socket {result.target_socket} "
+          f"(origin freed: {result.origin_freed}, cost {result.cycles:,.0f} cycles)")
+
+    after = measure(kernel, process, workload, va)
+    dump = dump_tree(process.mm.tree, kernel.physmem, machine.n_sockets)
+    print(f"remote-leaf fraction now: {dump.remote_leaf_fraction(0):.0%}")
+    print(f"runtime: {after.runtime_cycles:,.0f} cycles "
+          f"({before.runtime_cycles / after.runtime_cycles:.2f}x faster)")
+
+
+if __name__ == "__main__":
+    main()

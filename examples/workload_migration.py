@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Workload-migration scenario (paper §3.2, §8.2 / Figs. 6 and 10).
+
+Tells the migration story two ways:
+
+1. **Placement sweep** — runs all seven Table 2 configurations for one
+   workload (LP-LD ... RPI-RDI) plus the Mitosis repair of RPI-LD, and
+   prints a condensed Fig. 6/Fig. 10a.
+2. **Live migration** — actually migrates a running process between
+   sockets the way a NUMA scheduler would, first the commodity-OS way
+   (data moves, page-tables stay), then the Mitosis way (everything
+   moves), comparing the resulting walk locality.
+
+Run: ``python examples/workload_migration.py [workload]`` (default gups).
+"""
+
+import sys
+
+from repro import Kernel, Sysctl
+from repro.kernel import MitosisMode
+from repro.machine import two_socket
+from repro.sim import EngineConfig, Simulator, normalize, render_figure, run_migration
+from repro.units import MIB
+from repro.workloads import create
+
+SWEEP = ("LP-LD", "LP-RD", "LP-RDI", "RP-LD", "RPI-LD", "RP-RD", "RPI-RDI")
+
+
+def placement_sweep(workload: str):
+    engine = EngineConfig(accesses_per_thread=15_000)
+    results = {}
+    for config in SWEEP:
+        print(f"running {workload} / {config} ...", flush=True)
+        results[config] = run_migration(workload, config, footprint=64 * MIB, engine=engine)
+    print(f"running {workload} / RPI-LD+M ...", flush=True)
+    results["RPI-LD+M"] = run_migration(
+        workload, "RPI-LD", mitosis=True, footprint=64 * MIB, engine=engine
+    )
+    bars = normalize(results, baseline="LP-LD", pairs={"RPI-LD+M": "RPI-LD"})
+    print()
+    print(render_figure(f"Fig. 6 + Fig. 10a (condensed): {workload}", {workload: bars}))
+
+
+def live_migration(workload_name: str):
+    print("\n--- live migration walkthrough ---")
+    footprint = 48 * MIB
+    kernel = Kernel(
+        two_socket(memory_per_socket=footprint + 128 * MIB),
+        sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS),
+    )
+    process = kernel.create_process(workload_name, socket=0)
+    workload = create(workload_name, footprint=footprint)
+    va = kernel.sys_mmap(process, footprint, populate=True).value
+
+    def locality():
+        from repro.paging import dump_tree
+
+        dump = dump_tree(process.mm.tree, kernel.physmem, 2, socket=process.home_socket)
+        return dump.remote_leaf_fraction(process.home_socket)
+
+    print(f"process starts on socket 0; remote-leaf fraction {locality():.0%}")
+
+    # Commodity OS: scheduler moves the process and its data, not the PTs.
+    kernel.sys_migrate_process(process, target_socket=1)
+    print(f"after OS migration to socket 1:  remote-leaf fraction {locality():.0%} "
+          "(data moved, page-tables did not — the paper's problem)")
+
+    # Mitosis: migrate the page-tables too.
+    result = kernel.mitosis.migrate_process(process, target_socket=1)
+    print(f"after Mitosis page-table migration: remote-leaf fraction {locality():.0%} "
+          f"({result.tables_copied} tables copied)")
+
+    metrics = Simulator(kernel, EngineConfig(accesses_per_thread=10_000)).run(
+        process, workload, [1], va
+    )
+    print(f"post-migration run: {metrics.walk_cycle_fraction:.0%} walk cycles, "
+          f"all local again")
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gups"
+    placement_sweep(workload)
+    live_migration(workload)
+
+
+if __name__ == "__main__":
+    main()

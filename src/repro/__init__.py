@@ -1,0 +1,49 @@
+"""repro — a faithful simulation-based reproduction of *Mitosis:
+Transparently Self-Replicating Page-Tables for Large-Memory Machines*
+(Achermann et al., ASPLOS 2020).
+
+Quickstart::
+
+    from repro import Kernel, paper_machine
+    from repro.mitosis import MitosisManager
+
+    kernel = Kernel(paper_machine())
+    process = kernel.create_process("gups", socket=0)
+    ...
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    InvalidMappingError,
+    OutOfMemoryError,
+    ProtectionFault,
+    ReplicationError,
+    ReproError,
+    SegmentationFault,
+    TopologyError,
+)
+from repro.kernel import Kernel, MitosisMode, Process, Sysctl
+from repro.machine import Machine, MemoryTimings, paper_machine, paper_timings
+from repro.mitosis import MitosisManager
+
+__all__ = [
+    "InvalidMappingError",
+    "Kernel",
+    "Machine",
+    "MemoryTimings",
+    "MitosisManager",
+    "MitosisMode",
+    "OutOfMemoryError",
+    "Process",
+    "ProtectionFault",
+    "ReplicationError",
+    "ReproError",
+    "SegmentationFault",
+    "Sysctl",
+    "TopologyError",
+    "__version__",
+    "paper_machine",
+    "paper_timings",
+]

@@ -1,0 +1,35 @@
+"""Analysis tooling: page-table dumps (Fig. 3/4), the Table 4 overhead
+model, and table rendering."""
+
+from repro.analysis.leafdist import LeafDistribution, fig4_distributions, render_fig4
+from repro.analysis.overhead import (
+    TABLE4_FOOTPRINTS,
+    TABLE4_REPLICAS,
+    Table4Row,
+    mem_overhead,
+    pt_pages_per_level,
+    pt_size_bytes,
+    render_table4,
+    table4,
+)
+from repro.analysis.ptdump import fig3_snapshot, render_fig3
+from repro.analysis.report import render_table
+from repro.analysis.timeline import PlacementTimeline, TimelinePoint
+
+__all__ = [
+    "LeafDistribution",
+    "PlacementTimeline",
+    "TimelinePoint",
+    "TABLE4_FOOTPRINTS",
+    "TABLE4_REPLICAS",
+    "Table4Row",
+    "fig3_snapshot",
+    "fig4_distributions",
+    "mem_overhead",
+    "pt_pages_per_level",
+    "pt_size_bytes",
+    "render_fig3",
+    "render_fig4",
+    "render_table",
+    "render_table4",
+]

@@ -1,0 +1,53 @@
+"""Fig. 4: percentage of remote leaf PTEs observed from each socket.
+
+For every multi-socket workload the paper plots, per socket, the fraction
+of leaf PTEs a walker on that socket must fetch remotely. Skew comes from
+who first-touches the data: serial initialisers (Graph500) put everything
+on one socket; parallel initialisers spread the leaf level so every socket
+sees roughly (N-1)/N remote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import render_table
+from repro.sim.scenario import setup_multisocket
+from repro.units import MIB
+from repro.workloads.registry import MULTISOCKET_WORKLOADS
+
+
+@dataclass(frozen=True)
+class LeafDistribution:
+    workload: str
+    #: socket -> fraction of leaf PTEs remote for a walker on that socket.
+    remote_fraction: dict[int, float]
+
+
+def fig4_distributions(
+    workloads: tuple[str, ...] = MULTISOCKET_WORKLOADS,
+    footprint: int = 64 * MIB,
+    n_sockets: int = 4,
+    config: str = "F",
+    seed: int = 1234,
+) -> list[LeafDistribution]:
+    """Collect the Fig. 4 series (placement only — no timed run needed)."""
+    results = []
+    for name in workloads:
+        setup = setup_multisocket(
+            name, config, footprint=footprint, n_sockets=n_sockets, seed=seed
+        )
+        results.append(
+            LeafDistribution(workload=name, remote_fraction=setup.observed_remote_leaf())
+        )
+    return results
+
+
+def render_fig4(distributions: list[LeafDistribution]) -> str:
+    n_sockets = len(distributions[0].remote_fraction)
+    headers = ["workload"] + [f"socket {s}" for s in range(n_sockets)]
+    rows = [
+        [d.workload] + [f"{d.remote_fraction[s]:.0%}" for s in range(n_sockets)]
+        for d in distributions
+    ]
+    return render_table(headers, rows)

@@ -1,0 +1,83 @@
+"""Table 4: analytic memory-overhead model of page-table replication.
+
+§8.3.1 defines ``mem_overhead(Footprint, Replicas)`` for a *compact*
+address space (VAs ``0..Footprint``) under 4-level x86 paging: each level
+has at least one 4 KiB table, and the replicated page-tables are the only
+extra memory Mitosis consumes. This model is exact, so the bench asserts
+the paper's numbers to three decimals — and a measured cross-check builds a
+real tree and compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.paging.levels import level_span
+from repro.units import GIB, MIB, PAGE_SIZE, TIB, fmt_bytes
+
+#: The paper's Table 4 axes.
+TABLE4_FOOTPRINTS: tuple[int, ...] = (1 * MIB, 1 * GIB, 1 * TIB, 16 * TIB)
+TABLE4_REPLICAS: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+
+def pt_pages_per_level(footprint: int, levels: int = 4) -> dict[int, int]:
+    """Table pages needed per level for a compact ``footprint`` mapping.
+
+    A level-L table spans ``512 * level_span(L)`` bytes; at least one table
+    exists per level (the 16 KiB floor the paper notes for tiny programs).
+    """
+    if footprint <= 0:
+        raise ValueError("footprint must be positive")
+    counts = {}
+    for level in range(1, levels + 1):
+        span = level_span(level) * 512
+        counts[level] = max(1, -(-footprint // span))
+    return counts
+
+
+def pt_size_bytes(footprint: int, levels: int = 4) -> int:
+    """Bytes of page-table holding a compact ``footprint`` mapping."""
+    return sum(pt_pages_per_level(footprint, levels).values()) * PAGE_SIZE
+
+
+def mem_overhead(footprint: int, replicas: int, levels: int = 4) -> float:
+    """The paper's overhead ratio: total memory with ``replicas`` copies of
+    the page-table, relative to the single-copy baseline."""
+    if replicas < 1:
+        raise ValueError("at least one page-table copy exists")
+    pt = pt_size_bytes(footprint, levels)
+    return (footprint + replicas * pt) / (footprint + pt)
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    footprint: int
+    pt_size: int
+    overheads: tuple[float, ...]
+
+    def render(self) -> str:
+        cells = "  ".join(f"{o:5.3f}" for o in self.overheads)
+        return f"{fmt_bytes(self.footprint):>10}  {fmt_bytes(self.pt_size):>10}  {cells}"
+
+
+def table4(
+    footprints: tuple[int, ...] = TABLE4_FOOTPRINTS,
+    replicas: tuple[int, ...] = TABLE4_REPLICAS,
+) -> list[Table4Row]:
+    """Compute the full Table 4."""
+    return [
+        Table4Row(
+            footprint=fp,
+            pt_size=pt_size_bytes(fp),
+            overheads=tuple(mem_overhead(fp, r) for r in replicas),
+        )
+        for fp in footprints
+    ]
+
+
+def render_table4(rows: list[Table4Row] | None = None) -> str:
+    rows = rows if rows is not None else table4()
+    header = f"{'Footprint':>10}  {'PT Size':>10}  " + "  ".join(
+        f"{r:>5}" for r in TABLE4_REPLICAS
+    )
+    return "\n".join([header] + [row.render() for row in rows])

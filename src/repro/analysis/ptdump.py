@@ -1,0 +1,31 @@
+"""Fig. 3: the processed page-table snapshot.
+
+The paper's kernel module dumps a multi-socket workload's page-table every
+30 seconds; Fig. 3 shows one processed snapshot for Memcached (4 KiB pages,
+local allocation, AutoNUMA disabled). :func:`fig3_snapshot` builds that
+exact configuration and renders the same matrix.
+"""
+
+from __future__ import annotations
+
+from repro.paging.dump import PageTableDump
+from repro.sim.scenario import setup_multisocket
+from repro.units import MIB
+
+
+def fig3_snapshot(
+    workload: str = "memcached",
+    footprint: int = 128 * MIB,
+    n_sockets: int = 4,
+    seed: int = 1234,
+) -> PageTableDump:
+    """Page-table dump of a multi-socket workload under first-touch
+    allocation with AutoNUMA disabled (Fig. 3's configuration)."""
+    setup = setup_multisocket(
+        workload, "F", thp=False, footprint=footprint, n_sockets=n_sockets, seed=seed
+    )
+    return setup.dump()
+
+
+def render_fig3(dump: PageTableDump) -> str:
+    return dump.render()

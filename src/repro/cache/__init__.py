@@ -1,0 +1,5 @@
+"""Cache models (per-socket LLC for page-table lines)."""
+
+from repro.cache.llc import LlcStats, SocketLlc
+
+__all__ = ["LlcStats", "SocketLlc"]

@@ -1,0 +1,75 @@
+"""Per-socket last-level cache model for page-table cache-lines.
+
+The LLC decides whether a walk's leaf-PTE fetch reaches DRAM at all. §8.2
+explains the GUPS-with-2-MiB-pages result through exactly this effect: with
+2 MiB pages the whole leaf level fits in the socket's L3, so remote
+page-table placement costs nothing — until fragmentation forces 4 KiB pages
+and the leaf level stops fitting (Fig. 11).
+
+Only page-table lines are tracked exactly (they are few); data-line
+behaviour is summarised by each workload's locality profile in the engine.
+The ``pressure`` knob models data traffic evicting page-table lines: it
+scales the capacity page-table lines can actually hold onto.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.units import CACHE_LINE_SIZE
+
+
+@dataclass
+class LlcStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SocketLlc:
+    """LRU cache of page-table cache-lines for one socket."""
+
+    def __init__(self, capacity_bytes: int, pressure: float = 0.0, name: str = "llc"):
+        """``pressure`` in [0, 1): fraction of the capacity the workload's
+        data traffic effectively steals from page-table lines."""
+        if not 0.0 <= pressure < 1.0:
+            raise ValueError(f"pressure must be in [0, 1), got {pressure}")
+        self.name = name
+        self.capacity_lines = max(1, int(capacity_bytes * (1.0 - pressure)) // CACHE_LINE_SIZE)
+        self._lines: OrderedDict[int, None] = OrderedDict()
+        self._poison = 0
+        self.stats = LlcStats()
+
+    def access(self, line_addr: int) -> bool:
+        """Reference a line; returns True on hit. Misses allocate the line."""
+        if line_addr in self._lines:
+            self._lines.move_to_end(line_addr)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._lines) >= self.capacity_lines:
+            self._lines.popitem(last=False)
+        self._lines[line_addr] = None
+        return False
+
+    def pollute(self) -> None:
+        """Insert one never-reused line (a data miss landing in the shared
+        cache), evicting the LRU page-table line if the cache is full."""
+        self._poison -= 1
+        if len(self._lines) >= self.capacity_lines:
+            self._lines.popitem(last=False)
+        self._lines[self._poison] = None
+
+    def invalidate_all(self) -> None:
+        self._lines.clear()
+
+    def occupancy(self) -> int:
+        return len(self._lines)

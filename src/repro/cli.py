@@ -1,0 +1,173 @@
+"""Command-line front-end.
+
+The paper's user-facing knob is ``numactl --pgtablerepl=<sockets>``
+(Listing 2): run a program with a page-table replication policy, no code
+changes. This CLI reproduces that UX against the simulator, plus
+sub-commands for the two experiment harnesses and the analysis tools.
+
+::
+
+    python -m repro numactl --pgtablerepl=0-3 gups --footprint-mib 64
+    python -m repro numactl --cpunodebind=0 --membind=1 --pt-node=1 gups
+    python -m repro scenario migration gups RPI-LD --mitosis
+    python -m repro scenario multisocket canneal F+M --thp
+    python -m repro dump memcached
+    python -m repro table4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.overhead import render_table4
+from repro.analysis.ptdump import fig3_snapshot
+from repro.kernel.kernel import Kernel
+from repro.kernel.policy import FixedNodePolicy
+from repro.kernel.sysctl import MitosisMode, Sysctl
+from repro.machine.topology import Machine
+from repro.mitosis.policy import parse_socket_list
+from repro.sim.engine import EngineConfig, Simulator
+from repro.sim.scenario import (
+    MIGRATION_CONFIGS,
+    MULTISOCKET_CONFIGS,
+    run_migration,
+    run_multisocket,
+)
+from repro.units import MIB
+from repro.workloads.registry import WORKLOADS, create
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mitosis (ASPLOS 2020) reproduction — simulated NUMA machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    numactl = sub.add_parser(
+        "numactl", help="run a workload under placement/replication policies"
+    )
+    numactl.add_argument("workload", choices=sorted(WORKLOADS))
+    numactl.add_argument(
+        "--pgtablerepl", "-r", default=None,
+        help="sockets to replicate page-tables on (e.g. '0-3' or '0,2')",
+    )
+    numactl.add_argument("--cpunodebind", "-N", type=int, default=0, help="run on this socket")
+    numactl.add_argument("--membind", "-m", type=int, default=None, help="force data to a node")
+    numactl.add_argument("--pt-node", type=int, default=None, help="force page-tables to a node")
+    numactl.add_argument("--sockets", type=int, default=4, help="machine size")
+    numactl.add_argument("--footprint-mib", type=int, default=64)
+    numactl.add_argument("--accesses", type=int, default=20_000)
+    numactl.add_argument("--thp", action="store_true", help="enable transparent huge pages")
+    numactl.add_argument(
+        "--perf", action="store_true", help="print perf-stat style counters (§3.2)"
+    )
+
+    scenario = sub.add_parser("scenario", help="run a paper experiment configuration")
+    scenario.add_argument("kind", choices=["migration", "multisocket"])
+    scenario.add_argument("workload", choices=sorted(WORKLOADS))
+    scenario.add_argument("config", help="e.g. RPI-LD (migration) or F+M (multisocket)")
+    scenario.add_argument("--mitosis", action="store_true", help="migration: add the +M repair")
+    scenario.add_argument("--thp", action="store_true")
+    scenario.add_argument("--fragmentation", type=float, default=0.0)
+    scenario.add_argument("--footprint-mib", type=int, default=64)
+    scenario.add_argument("--accesses", type=int, default=20_000)
+
+    dump = sub.add_parser("dump", help="page-table placement snapshot (Fig. 3)")
+    dump.add_argument("workload", choices=sorted(WORKLOADS))
+    dump.add_argument("--footprint-mib", type=int, default=64)
+
+    sub.add_parser("table4", help="print the Table 4 memory-overhead model")
+    return parser
+
+
+def _cmd_numactl(args: argparse.Namespace) -> int:
+    machine = Machine.homogeneous(
+        args.sockets, cores_per_socket=2,
+        memory_per_socket=(args.footprint_mib + 192) * MIB,
+    )
+    kernel = Kernel(machine, sysctl=Sysctl(
+        thp_enabled=args.thp, mitosis_mode=MitosisMode.PER_PROCESS
+    ))
+    pt_policy = FixedNodePolicy(args.pt_node) if args.pt_node is not None else None
+    data_policy = FixedNodePolicy(args.membind) if args.membind is not None else None
+    process = kernel.create_process(
+        args.workload, socket=args.cpunodebind, pt_policy=pt_policy, data_policy=data_policy
+    )
+    workload = create(args.workload, footprint=args.footprint_mib * MIB)
+    va = kernel.sys_mmap(process, workload.footprint, populate=True).value
+    if args.pgtablerepl is not None:
+        mask = parse_socket_list(args.pgtablerepl)
+        kernel.mitosis.set_replication_mask(process, mask or None)
+    metrics = Simulator(kernel, EngineConfig(accesses_per_thread=args.accesses)).run(
+        process, workload, [args.cpunodebind], va
+    )
+    mask = kernel.mitosis.get_replication_mask(process)
+    print(f"workload={args.workload} socket={args.cpunodebind} "
+          f"footprint={args.footprint_mib} MiB thp={args.thp} "
+          f"pgtablerepl={sorted(mask) if mask else 'off'}")
+    print(f"runtime_cycles={metrics.runtime_cycles:.0f}")
+    print(f"walk_cycle_fraction={metrics.walk_cycle_fraction:.3f}")
+    print(f"tlb_miss_rate={metrics.tlb_miss_rate:.3f}")
+    print(f"pt_bytes={kernel.physmem.page_table_bytes()}")
+    if args.perf:
+        from repro.sim.perfcounters import perf_stat, render_perf
+
+        print()
+        print(render_perf(perf_stat(metrics), label=args.workload))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    engine = EngineConfig(accesses_per_thread=args.accesses)
+    footprint = args.footprint_mib * MIB
+    if args.kind == "migration":
+        if args.config not in MIGRATION_CONFIGS:
+            print(f"unknown migration config {args.config!r}; "
+                  f"choose from {', '.join(MIGRATION_CONFIGS)}", file=sys.stderr)
+            return 2
+        result = run_migration(
+            args.workload, args.config, mitosis=args.mitosis, thp=args.thp,
+            fragmentation=args.fragmentation, footprint=footprint, engine=engine,
+        )
+    else:
+        if args.config not in MULTISOCKET_CONFIGS:
+            print(f"unknown multisocket config {args.config!r}; "
+                  f"choose from {', '.join(MULTISOCKET_CONFIGS)}", file=sys.stderr)
+            return 2
+        result = run_multisocket(
+            args.workload, args.config, thp=args.thp, footprint=footprint, engine=engine
+        )
+    print(f"config={result.config} workload={result.workload}")
+    print(f"runtime_cycles={result.runtime_cycles:.0f}")
+    print(f"walk_cycle_fraction={result.walk_cycle_fraction:.3f}")
+    remote = " ".join(f"s{s}={f:.0%}" for s, f in sorted(result.remote_leaf_fraction.items()))
+    print(f"remote_leaf_fraction: {remote}")
+    if result.thp_failure_rate:
+        print(f"thp_failure_rate={result.thp_failure_rate:.2f}")
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    dump = fig3_snapshot(workload=args.workload, footprint=args.footprint_mib * MIB)
+    print(dump.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "numactl":
+        return _cmd_numactl(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "dump":
+        return _cmd_dump(args)
+    if args.command == "table4":
+        print(render_table4())
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

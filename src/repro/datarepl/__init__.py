@@ -1,0 +1,5 @@
+"""Carrefour-style data-page replication — the §2.3 comparison point."""
+
+from repro.datarepl.manager import DataReplicationManager, DataReplStats
+
+__all__ = ["DataReplStats", "DataReplicationManager"]

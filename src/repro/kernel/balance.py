@@ -1,0 +1,96 @@
+"""NUMA load balancing — the migration *source* of §3.2.
+
+"Such situations arise frequently in commercial cloud deployments due to
+the need for load balancing and improving process-data affinity ...
+VMware ESXi may migrate processes at a frequency of 2 seconds." This
+balancer is that scheduler: it evens thread counts across sockets by
+migrating whole processes — either the commodity way (threads + data move,
+page-tables stay behind) or the Mitosis way (page-tables move too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+
+
+@dataclass(frozen=True)
+class Move:
+    """One balancing decision."""
+
+    pid: int
+    from_socket: int
+    to_socket: int
+
+
+@dataclass
+class LoadBalancer:
+    """Evens per-socket thread counts by process migration.
+
+    Attributes:
+        kernel: The kernel whose processes are balanced.
+        migrate_pagetables: Move page-tables along (Mitosis) instead of
+            leaving them behind (commodity OS).
+    """
+
+    kernel: Kernel
+    migrate_pagetables: bool = False
+    moves: list[Move] = field(default_factory=list)
+
+    def socket_load(self) -> dict[int, int]:
+        """Threads currently running per socket."""
+        load = {socket: 0 for socket in self.kernel.machine.node_ids()}
+        for process in self.kernel.processes.values():
+            for thread in process.threads:
+                load[thread.socket] += 1
+        return load
+
+    def imbalance(self) -> int:
+        load = self.socket_load()
+        return max(load.values()) - min(load.values())
+
+    def rebalance(self) -> list[Move]:
+        """Migrate single-socket processes from the most- to the
+        least-loaded socket until loads differ by at most one thread.
+        Returns the moves performed this pass.
+
+        A move is only made when it strictly reduces the imbalance
+        (``2 * threads(p) <= diff``), so the pass terminates even with
+        multi-threaded processes that would otherwise ping-pong.
+        """
+        performed: list[Move] = []
+        budget = 4 * max(1, len(self.kernel.processes))  # hard safety bound
+        while budget > 0:
+            budget -= 1
+            load = self.socket_load()
+            busiest = max(load, key=lambda s: (load[s], s))
+            idlest = min(load, key=lambda s: (load[s], -s))
+            diff = load[busiest] - load[idlest]
+            if diff <= 1:
+                break
+            candidate = self._pick_process(busiest, max_threads=diff // 2)
+            if candidate is None:
+                break
+            move = Move(pid=candidate.pid, from_socket=busiest, to_socket=idlest)
+            if self.migrate_pagetables:
+                self.kernel.mitosis.migrate_process(candidate, idlest)
+            else:
+                self.kernel.sys_migrate_process(candidate, idlest)
+            performed.append(move)
+            self.moves.append(move)
+        return performed
+
+    def _pick_process(self, socket: int, max_threads: int) -> Process | None:
+        """Smallest single-socket process on ``socket`` whose move would
+        strictly improve balance (cheapest data copy first)."""
+        candidates = [
+            process
+            for process in self.kernel.processes.values()
+            if process.sockets_in_use() == {socket}
+            and 1 <= len(process.threads) <= max_threads
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: (p.mm.mapped_bytes(), p.pid))

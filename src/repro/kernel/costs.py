@@ -1,0 +1,73 @@
+"""Cycle costs of kernel virtual-memory operations.
+
+The Table 5 / Table 6 micro-benchmarks need the *relative* cost of VM
+syscalls with and without replication. Costs are charged per physical
+effect, read off the :class:`~repro.paging.pagetable.OpsStats` deltas a
+syscall produced, plus the data-page work (allocation, zeroing, freeing)
+the fault path reports. Constants are calibrated so the native baseline
+matches the qualitative structure the paper describes (§8.3.2): mmap is
+dominated by zeroing fresh data pages, munmap does much less per page, and
+mprotect is a pure PTE read-modify-write whose cost replication multiplies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.paging.pagetable import OpsStats
+
+#: Writing one PTE (usually a cached store).
+PTE_WRITE_CYCLES = 12.0
+#: Reading one PTE.
+PTE_READ_CYCLES = 6.0
+#: Following one replica-ring pointer through ``struct page`` metadata
+#: (a dependent load of hot kernel metadata, cheaper than a PTE store).
+RING_HOP_CYCLES = 3.0
+#: Allocating + wiring one page-table page.
+TABLE_ALLOC_CYCLES = 300.0
+TABLE_FREE_CYCLES = 150.0
+#: Allocating and zeroing a fresh 4 KiB data page (dominates mmap+populate).
+DATA_ALLOC_ZERO_4K_CYCLES = 2400.0
+#: Allocating and zeroing a 2 MiB page (bulk zeroing is ~2x as efficient
+#: per byte as per-page zeroing).
+DATA_ALLOC_ZERO_2M_CYCLES = DATA_ALLOC_ZERO_4K_CYCLES * 256
+#: Returning a data page to the allocator (no zeroing on free).
+DATA_FREE_CYCLES = 120.0
+#: Copying one 4 KiB page cross-node (AutoNUMA / data migration).
+PAGE_COPY_CYCLES = 3000.0
+#: Fixed syscall entry/exit + locking overhead.
+SYSCALL_FIXED_CYCLES = 800.0
+
+
+@dataclass
+class WorkCounters:
+    """Data-page work a kernel operation performed (fault path reports)."""
+
+    pages_zeroed_4k: int = 0
+    pages_zeroed_2m: int = 0
+    pages_freed: int = 0
+    pages_copied: int = 0
+
+    def cycles(self) -> float:
+        return (
+            self.pages_zeroed_4k * DATA_ALLOC_ZERO_4K_CYCLES
+            + self.pages_zeroed_2m * DATA_ALLOC_ZERO_2M_CYCLES
+            + self.pages_freed * DATA_FREE_CYCLES
+            + self.pages_copied * PAGE_COPY_CYCLES
+        )
+
+
+def ops_cycles(delta: OpsStats) -> float:
+    """Cycles attributable to page-table manipulation, from an ops delta."""
+    return (
+        delta.pte_writes * PTE_WRITE_CYCLES
+        + delta.pte_reads * PTE_READ_CYCLES
+        + delta.ring_hops * RING_HOP_CYCLES
+        + delta.tables_allocated * TABLE_ALLOC_CYCLES
+        + delta.tables_released * TABLE_FREE_CYCLES
+    )
+
+
+def syscall_cycles(delta: OpsStats, work: WorkCounters, shootdown_cycles: float = 0.0) -> float:
+    """Total estimated cycles for one VM syscall."""
+    return SYSCALL_FIXED_CYCLES + ops_cycles(delta) + work.cycles() + shootdown_cycles

@@ -1,0 +1,110 @@
+"""The page-fault handler.
+
+All data *and page-table* allocation happens here ("all page-table
+allocations are performed by the OS on a page-fault", §5.1): when a thread
+on socket *s* touches an unmapped page, the handler places the data page
+according to the VMA/process policy with first-toucher ``s``, and the
+page-table pages needed along the way are placed by the PV-Ops backend's
+page-table policy (also first-touch by default — the root cause of the
+skew in §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtectionFault, SegmentationFault
+from repro.kernel.costs import WorkCounters
+from repro.kernel.process import MappedFrame, MemoryDescriptor, Process
+from repro.kernel.thp import ThpController
+from repro.mem.physmem import PhysicalMemory
+from repro.paging.pte import pte_writable
+from repro.units import HUGE_PAGE_SIZE, PAGE_SIZE
+
+
+@dataclass
+class FaultResult:
+    """What servicing one fault did."""
+
+    va: int
+    mapped_bytes: int
+    huge: bool
+    work: WorkCounters
+    #: False when the fault was spurious (already mapped by another thread).
+    did_map: bool = True
+    #: True for a major fault (swap-in); ``io_cycles`` carries its cost.
+    major: bool = False
+    io_cycles: float = 0.0
+
+
+class PageFaultHandler:
+    """Demand paging for anonymous memory."""
+
+    def __init__(self, physmem: PhysicalMemory, thp: ThpController):
+        self.physmem = physmem
+        self.thp = thp
+        #: Set by the kernel once the swap manager exists; major faults
+        #: route through it.
+        self.swap = None
+        self.faults_handled = 0
+
+    def handle(
+        self,
+        process: Process,
+        va: int,
+        socket: int,
+        is_write: bool = False,
+        allow_huge: bool = True,
+    ) -> FaultResult:
+        """Service a fault at ``va`` raised by a thread on ``socket``.
+
+        Raises:
+            SegmentationFault: no VMA covers ``va``.
+            ProtectionFault: a write hit a read-only mapping.
+        """
+        mm = process.mm
+        vma = mm.vmas.find(va)
+        if vma is None:
+            raise SegmentationFault(va)
+        base = va & ~(PAGE_SIZE - 1)
+        if self.swap is not None and base in mm.swapped:
+            self.faults_handled += 1
+            io = self.swap.swap_in(process, base, socket)
+            return FaultResult(
+                va=va,
+                mapped_bytes=PAGE_SIZE,
+                huge=False,
+                work=WorkCounters(),
+                major=True,
+                io_cycles=io,
+            )
+        existing = mm.frame_at(va)
+        if existing is not None:
+            translation = mm.tree.translate(va)
+            assert translation is not None
+            if is_write and not pte_writable(translation.flags):
+                raise ProtectionFault(va, "write")
+            return FaultResult(va=va, mapped_bytes=0, huge=existing.huge, work=WorkCounters(), did_map=False)
+
+        self.faults_handled += 1
+        policy = vma.data_policy or mm.data_policy
+        node = policy.choose_node(socket)
+        work = WorkCounters()
+
+        if allow_huge and self.thp.eligible(mm, vma, va):
+            frame = self.thp.alloc(node)
+            if frame is not None:
+                base = va & ~(HUGE_PAGE_SIZE - 1)
+                with mm.lock():
+                    mm.tree.map_page(base, frame.pfn, vma.prot, huge=True, node_hint=socket)
+                mm.frames[base] = MappedFrame(va=base, frame=frame, huge=True)
+                work.pages_zeroed_2m += 1
+                return FaultResult(va=va, mapped_bytes=HUGE_PAGE_SIZE, huge=True, work=work)
+
+        frame = self.physmem.alloc_frame_fallback(node)
+        base = va & ~(PAGE_SIZE - 1)
+        with mm.lock():
+            mm.tree.map_page(base, frame.pfn, vma.prot, huge=False, node_hint=socket)
+        mm.frames[base] = MappedFrame(va=base, frame=frame, huge=False)
+        work.pages_zeroed_4k += 1
+        return FaultResult(va=va, mapped_bytes=PAGE_SIZE, huge=False, work=work)

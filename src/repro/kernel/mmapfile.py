@@ -1,0 +1,137 @@
+"""File-backed mappings and dirty-driven writeback (§5.4's second user).
+
+A/D bits are "used by the OS for system-level operations like swapping or
+writing back memory-mapped files if they are modified in memory".
+:mod:`repro.kernel.swap` is the first user; this module is the second: a
+minimal page-cache for simulated files, ``mmap``-style file mappings, and
+an ``msync`` that finds modified pages *through the dirty bits* — read via
+the replication-correct OR, reset in every replica — and writes exactly
+those back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidMappingError
+from repro.kernel.process import Process
+from repro.paging.pte import PTE_DIRTY, PTE_USER, PTE_WRITABLE
+from repro.units import PAGE_SIZE, page_align_up
+
+#: Cost of writing one 4 KiB page back to backing storage.
+WRITEBACK_CYCLES = 50_000.0
+
+
+@dataclass
+class SimFile:
+    """A simulated file: a name, a length, and a write-back generation per
+    block (standing in for contents — what matters is *which* blocks got
+    written back and when)."""
+
+    name: str
+    length: int
+    generations: dict[int, int] = field(default_factory=dict)
+    writebacks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.length % PAGE_SIZE:
+            raise InvalidMappingError("file length must be a positive page multiple")
+
+    @property
+    def blocks(self) -> int:
+        return self.length // PAGE_SIZE
+
+    def write_block(self, block: int) -> None:
+        if not 0 <= block < self.blocks:
+            raise InvalidMappingError(f"block {block} outside file")
+        self.generations[block] = self.generations.get(block, 0) + 1
+        self.writebacks += 1
+
+    def generation(self, block: int) -> int:
+        return self.generations.get(block, 0)
+
+
+@dataclass(frozen=True)
+class FileMapping:
+    """One established file mapping."""
+
+    file: SimFile
+    va: int
+    length: int
+    offset: int
+
+    def block_of(self, va: int) -> int:
+        return (self.offset + (va - self.va)) // PAGE_SIZE
+
+
+class FileMapManager:
+    """mmap/msync for simulated files, per kernel."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._mappings: dict[tuple[int, int], FileMapping] = {}  # (pid, va)
+
+    def mmap_file(
+        self,
+        process: Process,
+        file: SimFile,
+        length: int | None = None,
+        offset: int = 0,
+        populate: bool = True,
+    ) -> FileMapping:
+        """Map ``file[offset:offset+length]`` into the process."""
+        length = file.length - offset if length is None else page_align_up(length)
+        if offset % PAGE_SIZE or offset + length > file.length:
+            raise InvalidMappingError("file mapping outside the file")
+        result = self.kernel.sys_mmap(
+            process,
+            length,
+            prot=PTE_WRITABLE | PTE_USER,
+            populate=populate,
+            use_huge=False,
+            name=f"file:{file.name}",
+        )
+        mapping = FileMapping(file=file, va=result.value, length=length, offset=offset)
+        self._mappings[(process.pid, mapping.va)] = mapping
+        return mapping
+
+    def mapping_at(self, process: Process, va: int) -> FileMapping:
+        for (pid, base), mapping in self._mappings.items():
+            if pid == process.pid and base <= va < base + mapping.length:
+                return mapping
+        raise InvalidMappingError(f"0x{va:x} is not a file mapping")
+
+    def msync(self, process: Process, mapping: FileMapping) -> tuple[int, float]:
+        """Write back every dirty page of ``mapping``.
+
+        Dirty detection reads the PTE through the backend (ORing across
+        replicas, §5.4) and resets D *everywhere* afterwards, so a page
+        written through any socket's replica is synced exactly once.
+
+        Returns ``(pages_written, cycles)``.
+        """
+        mm = process.mm
+        tree = mm.tree
+        written = 0
+        cycles = 0.0
+        for page_va in range(mapping.va, mapping.va + mapping.length, PAGE_SIZE):
+            location = tree.leaf_location(page_va)
+            if location is None:
+                continue  # never faulted in
+            entry = tree.ops.read_pte(tree, location.page, location.index)
+            if not entry & PTE_DIRTY:
+                continue
+            mapping.file.write_block(mapping.block_of(page_va))
+            with mm.lock():
+                tree.ops.clear_ad_bits(tree, location.page, location.index)
+            written += 1
+            cycles += WRITEBACK_CYCLES
+        cycles += self.kernel.shootdown.flush_all(self.kernel.cpu_contexts)
+        return written, cycles
+
+    def munmap_file(self, process: Process, mapping: FileMapping) -> float:
+        """msync + unmap (close semantics). Returns cycles."""
+        written, cycles = self.msync(process, mapping)
+        result = self.kernel.sys_munmap(process, mapping.va, mapping.length)
+        del self._mappings[(process.pid, mapping.va)]
+        return cycles + result.cycles

@@ -1,0 +1,73 @@
+"""NUMA placement policies for data pages and page-table pages.
+
+Linux exposes first-touch (default) and interleaved allocation for data
+(§2.3); the paper's analysis kernel additionally forces page-table pages
+onto a fixed socket (§3.2). All three are policies over "which node gets
+this new page", so one small hierarchy serves data and page-tables alike —
+applied independently, which is exactly the knob the paper's experiments
+turn.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass, field
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses the NUMA node for a new page."""
+
+    @abc.abstractmethod
+    def choose_node(self, hint: int) -> int:
+        """Pick a node. ``hint`` is the socket of the faulting/allocating
+        thread (the "first toucher")."""
+
+    def reset(self) -> None:
+        """Forget internal state (e.g. the interleave cursor)."""
+
+
+class FirstTouchPolicy(PlacementPolicy):
+    """Allocate on the socket of the first-touching thread (Linux default)."""
+
+    def choose_node(self, hint: int) -> int:
+        return hint
+
+    def reset(self) -> None:  # stateless
+        pass
+
+    def __repr__(self) -> str:
+        return "FirstTouchPolicy()"
+
+
+@dataclass
+class InterleavePolicy(PlacementPolicy):
+    """Round-robin pages across a node set (``numactl --interleave``)."""
+
+    nodes: tuple[int, ...]
+    _cursor: "itertools.cycle[int]" = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("interleave needs at least one node")
+        self._cursor = itertools.cycle(self.nodes)
+
+    def choose_node(self, hint: int) -> int:
+        return next(self._cursor)
+
+    def reset(self) -> None:
+        self._cursor = itertools.cycle(self.nodes)
+
+
+@dataclass(frozen=True)
+class FixedNodePolicy(PlacementPolicy):
+    """Always allocate on one node (``numactl --membind``, and the paper's
+    forced page-table placement for the workload-migration analysis)."""
+
+    node: int
+
+    def choose_node(self, hint: int) -> int:
+        return self.node
+
+    def reset(self) -> None:  # stateless
+        pass

@@ -1,0 +1,126 @@
+"""Processes, threads and the memory descriptor (``mm_struct``).
+
+A :class:`MemoryDescriptor` bundles everything the kernel tracks per address
+space: the VMA list, the page-table tree (through whichever PV-Ops backend
+is active), the data frames backing each mapped page, the data-placement
+policy, and — with Mitosis — the replication mask. The page-table lock of
+§7.5 is modelled as a counted mutex so tests can assert that every
+page-table mutation happens inside the critical section.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.kernel.policy import FirstTouchPolicy, PlacementPolicy
+from repro.kernel.vma import VmaList
+from repro.mem.frame import Frame
+from repro.paging.levels import HUGE_LEAF_LEVEL
+from repro.paging.pagetable import PageTableTree
+
+
+class MmLock:
+    """The per-mm page-table lock (counts acquisitions for tests)."""
+
+    def __init__(self) -> None:
+        self._depth = 0
+        self.acquisitions = 0
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0
+
+    @contextmanager
+    def __call__(self) -> Iterator[None]:
+        self._depth += 1
+        self.acquisitions += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+
+
+@dataclass
+class MappedFrame:
+    """Bookkeeping for one mapped leaf: the backing frame and its size."""
+
+    va: int
+    frame: Frame
+    huge: bool
+
+    @property
+    def level(self) -> int:
+        return HUGE_LEAF_LEVEL if self.huge else 1
+
+
+class MemoryDescriptor:
+    """Per-process memory state (Linux's ``mm_struct``)."""
+
+    def __init__(self, tree: PageTableTree, va_limit: int):
+        self.tree = tree
+        self.vmas = VmaList(va_limit)
+        #: leaf VA -> backing data frame (4 KiB or 2 MiB).
+        self.frames: dict[int, MappedFrame] = {}
+        #: leaf VA -> swap entry for pages evicted to the swap device
+        #: (see :mod:`repro.kernel.swap`).
+        self.swapped: dict[int, "object"] = {}
+        #: Default data placement (first-touch, like Linux).
+        self.data_policy: PlacementPolicy = FirstTouchPolicy()
+        #: Sockets holding page-table replicas; ``None`` -> not replicated.
+        self.replication_mask: frozenset[int] | None = None
+        self.lock = MmLock()
+
+    @property
+    def replicated(self) -> bool:
+        return self.replication_mask is not None
+
+    def mapped_bytes(self) -> int:
+        """Bytes of physical data memory currently mapped."""
+        return sum(mapped.frame.nbytes for mapped in self.frames.values())
+
+    def frame_at(self, va: int) -> MappedFrame | None:
+        """The mapped frame whose leaf covers ``va`` (checks both sizes)."""
+        from repro.units import HUGE_PAGE_SIZE, PAGE_SIZE
+
+        base4k = va & ~(PAGE_SIZE - 1)
+        hit = self.frames.get(base4k)
+        if hit is not None:
+            return hit
+        base2m = va & ~(HUGE_PAGE_SIZE - 1)
+        hit = self.frames.get(base2m)
+        if hit is not None and hit.huge:
+            return hit
+        return None
+
+
+@dataclass
+class Thread:
+    """One schedulable thread, pinned to a socket by the scenario driver."""
+
+    tid: int
+    socket: int
+
+
+@dataclass
+class Process:
+    """A process: a pid, an address space and some threads."""
+
+    pid: int
+    name: str
+    mm: MemoryDescriptor
+    threads: list[Thread] = field(default_factory=list)
+
+    @property
+    def home_socket(self) -> int:
+        """Socket of the first thread (single-threaded workloads' home)."""
+        return self.threads[0].socket if self.threads else 0
+
+    def sockets_in_use(self) -> frozenset[int]:
+        return frozenset(thread.socket for thread in self.threads)
+
+    def add_thread(self, socket: int) -> Thread:
+        thread = Thread(tid=len(self.threads), socket=socket)
+        self.threads.append(thread)
+        return thread

@@ -1,0 +1,61 @@
+"""Scheduling: socket placement, process migration, CR3 selection.
+
+Two paper-relevant behaviours live here:
+
+* **context switch CR3 selection (§5.3)** — when a thread is scheduled on a
+  socket, the page-table base register is loaded with that socket's local
+  replica root (an array indexed by socket id; with the native backend
+  every entry aliases the one root, which is "equivalent to the native
+  behaviour");
+* **process migration (§3.2)** — moving a process to another socket,
+  optionally migrating its data (as AutoNUMA-era kernels do) while its
+  page-tables stay behind — unless Mitosis migrates them too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.costs import WorkCounters
+from repro.kernel.migrate import migrate_all_data
+from repro.kernel.process import Process
+from repro.mem.physmem import PhysicalMemory
+
+
+@dataclass
+class SchedulerStats:
+    context_switches: int = 0
+    process_migrations: int = 0
+
+
+@dataclass
+class Scheduler:
+    physmem: PhysicalMemory
+    stats: SchedulerStats = field(default_factory=SchedulerStats)
+
+    def context_switch(self, process: Process, socket: int) -> int:
+        """Schedule ``process`` on ``socket``; returns the CR3 value (root
+        PFN) the core must load — the local replica when one exists."""
+        self.stats.context_switches += 1
+        tree = process.mm.tree
+        return tree.ops.root_pfn_for_socket(tree, socket)
+
+    def migrate_process(
+        self,
+        process: Process,
+        target_socket: int,
+        migrate_data: bool = True,
+    ) -> WorkCounters:
+        """Move all threads of ``process`` to ``target_socket``.
+
+        With ``migrate_data`` the kernel also moves data pages to the target
+        node (commodity-OS behaviour). Page-tables are *not* touched here:
+        that is exactly the gap Mitosis fills
+        (:func:`repro.mitosis.migration.migrate_page_tables`).
+        """
+        self.stats.process_migrations += 1
+        for thread in process.threads:
+            thread.socket = target_socket
+        if migrate_data:
+            return migrate_all_data(self.physmem, process.mm, target_socket)
+        return WorkCounters()

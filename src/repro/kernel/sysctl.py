@@ -1,0 +1,40 @@
+"""System-wide tunables (the sysctl interface).
+
+The paper adds two sysctls: the page-table page-cache size (§5.1) and the
+four-state system-wide Mitosis policy (§6.1). THP and AutoNUMA are existing
+Linux switches its experiments also toggle; they live here too.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MitosisMode(enum.Enum):
+    """The paper's four system-wide replication states (§6.1)."""
+
+    #: i) completely disable Mitosis.
+    OFF = "off"
+    #: ii) enable on a per-process basis (processes opt in via the mask).
+    PER_PROCESS = "per-process"
+    #: iii) fix the allocation of page-tables on a particular socket.
+    FIXED_SOCKET = "fixed-socket"
+    #: iv) enabled for all processes in the system.
+    ALL = "all"
+
+
+@dataclass
+class Sysctl:
+    """Mutable system-wide settings."""
+
+    #: Transparent huge pages (2 MiB) on anonymous memory.
+    thp_enabled: bool = False
+    #: AutoNUMA data-page migration daemon.
+    autonuma_enabled: bool = False
+    #: System-wide Mitosis state.
+    mitosis_mode: MitosisMode = MitosisMode.OFF
+    #: Socket used by :attr:`MitosisMode.FIXED_SOCKET`.
+    mitosis_fixed_socket: int = 0
+    #: Frames reserved per node for page-table allocation (§5.1).
+    pt_pagecache_frames: int = 0

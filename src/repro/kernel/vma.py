@@ -1,0 +1,168 @@
+"""Virtual memory areas (VMAs).
+
+A process' address space is a sorted set of non-overlapping regions, each
+with protection bits and an optional per-region data placement policy (what
+``numactl``/``mbind`` would set). ``mmap``/``munmap``/``mprotect`` operate
+on ranges, so the list supports splitting on partial operations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, replace
+
+from repro.errors import InvalidMappingError
+from repro.kernel.policy import PlacementPolicy
+from repro.paging.pte import PTE_USER, PTE_WRITABLE
+from repro.units import PAGE_SIZE
+
+#: Default protection for anonymous mappings.
+PROT_DEFAULT = PTE_WRITABLE | PTE_USER
+
+
+@dataclass(frozen=True)
+class Vma:
+    """One mapped virtual region ``[start, end)``.
+
+    Attributes:
+        start: Page-aligned inclusive start.
+        end: Page-aligned exclusive end.
+        prot: PTE flag bits new leaf mappings in the region receive.
+        name: Debug label.
+        data_policy: Region-specific data placement override (``None`` ->
+            the process default applies).
+        use_huge: Whether THP may back this region (``madvise`` analogue).
+    """
+
+    start: int
+    end: int
+    prot: int = PROT_DEFAULT
+    name: str = "anon"
+    data_policy: PlacementPolicy | None = None
+    use_huge: bool = True
+
+    def __post_init__(self) -> None:
+        if self.start % PAGE_SIZE or self.end % PAGE_SIZE:
+            raise InvalidMappingError(
+                f"vma [{self.start:#x}, {self.end:#x}) not page aligned"
+            )
+        if self.end <= self.start:
+            raise InvalidMappingError(f"empty vma [{self.start:#x}, {self.end:#x})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def contains(self, va: int) -> bool:
+        return self.start <= va < self.end
+
+    def overlaps(self, start: int, end: int) -> bool:
+        return self.start < end and start < self.end
+
+
+class VmaList:
+    """Sorted, non-overlapping VMAs with range split/carve operations."""
+
+    def __init__(self, va_limit: int):
+        self.va_limit = va_limit
+        self._starts: list[int] = []
+        self._vmas: list[Vma] = []
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    def __iter__(self):
+        return iter(self._vmas)
+
+    def find(self, va: int) -> Vma | None:
+        """The VMA containing ``va``, or ``None``."""
+        i = bisect.bisect_right(self._starts, va) - 1
+        if i >= 0 and self._vmas[i].contains(va):
+            return self._vmas[i]
+        return None
+
+    def in_range(self, start: int, end: int) -> list[Vma]:
+        """All VMAs overlapping ``[start, end)``."""
+        i = max(0, bisect.bisect_right(self._starts, start) - 1)
+        found = []
+        for vma in self._vmas[i:]:
+            if vma.start >= end:
+                break
+            if vma.overlaps(start, end):
+                found.append(vma)
+        return found
+
+    def insert(self, vma: Vma) -> None:
+        """Add a VMA; rejects overlap with any existing region."""
+        if vma.end > self.va_limit:
+            raise InvalidMappingError(f"vma end {vma.end:#x} beyond VA limit")
+        if self.in_range(vma.start, vma.end):
+            raise InvalidMappingError(
+                f"vma [{vma.start:#x}, {vma.end:#x}) overlaps an existing mapping"
+            )
+        i = bisect.bisect_left(self._starts, vma.start)
+        self._starts.insert(i, vma.start)
+        self._vmas.insert(i, vma)
+
+    def remove_range(self, start: int, end: int) -> list[Vma]:
+        """Carve ``[start, end)`` out of the address space.
+
+        VMAs straddling the boundary are split; the removed pieces are
+        returned so the caller can unmap their pages.
+        """
+        removed: list[Vma] = []
+        for vma in self.in_range(start, end):
+            self._delete(vma)
+            if vma.start < start:
+                self.insert(replace(vma, end=start))
+            if vma.end > end:
+                self.insert(replace(vma, start=end))
+            removed.append(
+                replace(vma, start=max(vma.start, start), end=min(vma.end, end))
+            )
+        return removed
+
+    def protect_range(self, start: int, end: int, prot: int) -> list[Vma]:
+        """Change protection over ``[start, end)``, splitting as needed.
+
+        Returns the (new) VMAs covering the range with updated protection.
+        """
+        updated: list[Vma] = []
+        for vma in self.in_range(start, end):
+            self._delete(vma)
+            if vma.start < start:
+                self.insert(replace(vma, end=start))
+            if vma.end > end:
+                self.insert(replace(vma, start=end))
+            changed = replace(
+                vma, start=max(vma.start, start), end=min(vma.end, end), prot=prot
+            )
+            self.insert(changed)
+            updated.append(changed)
+        return updated
+
+    def find_free_region(self, length: int, align: int = PAGE_SIZE, floor: int = PAGE_SIZE) -> int:
+        """Lowest aligned gap of at least ``length`` bytes (mmap placement)."""
+        if length <= 0 or length % PAGE_SIZE:
+            raise InvalidMappingError(f"bad mmap length {length}")
+        candidate = _align_up(floor, align)
+        for vma in self._vmas:
+            if candidate + length <= vma.start:
+                return candidate
+            candidate = max(candidate, _align_up(vma.end, align))
+        if candidate + length <= self.va_limit:
+            return candidate
+        raise InvalidMappingError("virtual address space exhausted")
+
+    def total_mapped(self) -> int:
+        return sum(vma.length for vma in self._vmas)
+
+    def _delete(self, vma: Vma) -> None:
+        i = bisect.bisect_left(self._starts, vma.start)
+        assert self._vmas[i] is vma or self._vmas[i] == vma
+        del self._starts[i]
+        del self._vmas[i]
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align

@@ -1,0 +1,30 @@
+"""NUMA machine model: topology, timings and presets."""
+
+from repro.machine.latency import ContentionTracker, MemoryTimings
+from repro.machine.presets import (
+    PAPER_L1_TLB_ENTRIES,
+    PAPER_L2_TLB_ENTRIES,
+    PAPER_LLC_BYTES,
+    four_socket,
+    paper_machine,
+    paper_timings,
+    sixteen_socket,
+    two_socket,
+)
+from repro.machine.topology import Core, Machine, Socket
+
+__all__ = [
+    "ContentionTracker",
+    "Core",
+    "Machine",
+    "MemoryTimings",
+    "Socket",
+    "PAPER_L1_TLB_ENTRIES",
+    "PAPER_L2_TLB_ENTRIES",
+    "PAPER_LLC_BYTES",
+    "four_socket",
+    "paper_machine",
+    "paper_timings",
+    "sixteen_socket",
+    "two_socket",
+]

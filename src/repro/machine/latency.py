@@ -1,0 +1,108 @@
+"""Memory timing and contention model.
+
+The paper's testbed (§8): local DRAM access ~280 cycles at 28 GB/s; remote
+(one QPI hop) ~580 cycles at 11 GB/s, CPU at 2.2 GHz. Two cost components
+matter for the simulated workloads:
+
+* a *latency* term — how long one dependent cache-line fetch takes. Page-
+  table walks are pointer chases, so each level pays this term;
+* a *bandwidth* term — cycles per cache line when many accesses are in
+  flight (streaming workloads are bandwidth-bound, not latency-bound).
+
+Interference (the ``I`` in the paper's RPI/RDI configurations) is a
+bandwidth hog pinned to a socket: it inflates the latency and deflates the
+bandwidth of that socket's memory for everyone else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import CACHE_LINE_SIZE, GIB
+
+
+@dataclass(frozen=True)
+class MemoryTimings:
+    """Latency/bandwidth figures for one machine.
+
+    Attributes:
+        local_latency: Cycles for a dependent load from the local node.
+        remote_latency: Cycles for a dependent load from a remote node.
+        local_bandwidth: Bytes/second a socket reads from local memory.
+        remote_bandwidth: Bytes/second across the interconnect.
+        frequency_hz: Core clock used to convert bandwidth into
+            cycles-per-cache-line.
+        interference_latency_factor: Multiplier applied to the latency of a
+            hogged node.
+        interference_bandwidth_factor: Divider applied to the bandwidth of a
+            hogged node.
+    """
+
+    local_latency: float = 280.0
+    remote_latency: float = 580.0
+    local_bandwidth: float = 28 * GIB
+    remote_bandwidth: float = 11 * GIB
+    frequency_hz: float = 2.2e9
+    interference_latency_factor: float = 1.8
+    interference_bandwidth_factor: float = 2.2
+
+    def latency(self, socket: int, node: int, hogged: bool = False) -> float:
+        """Cycles for one dependent cache-line fetch from ``node`` by a core
+        on ``socket``. ``hogged`` marks the node as bandwidth-saturated by an
+        interfering process."""
+        base = self.local_latency if socket == node else self.remote_latency
+        if hogged:
+            base *= self.interference_latency_factor
+        return base
+
+    def cycles_per_line(self, socket: int, node: int, hogged: bool = False) -> float:
+        """Throughput cost (cycles per cache line) of streaming from ``node``."""
+        bandwidth = self.local_bandwidth if socket == node else self.remote_bandwidth
+        if hogged:
+            bandwidth /= self.interference_bandwidth_factor
+        return self.frequency_hz * CACHE_LINE_SIZE / bandwidth
+
+    def access_cycles(
+        self,
+        socket: int,
+        node: int,
+        mlp: float = 1.0,
+        hogged: bool = False,
+    ) -> float:
+        """Effective cycles one access contributes to runtime.
+
+        ``mlp`` is the workload's memory-level parallelism: independent
+        accesses overlap, so each contributes ``latency / mlp``; the
+        bandwidth term is a hard floor that parallelism cannot hide.
+        """
+        if mlp < 1.0:
+            raise ValueError(f"mlp must be >= 1, got {mlp}")
+        latency = self.latency(socket, node, hogged=hogged) / mlp
+        line = self.cycles_per_line(socket, node, hogged=hogged)
+        return latency + line
+
+
+@dataclass
+class ContentionTracker:
+    """Which NUMA nodes are currently being hogged by an interfering process.
+
+    The scenario harness registers the interference socket(s) from the
+    paper's RPI-LD / LP-RDI / RPI-RDI configurations here; the engine
+    consults it on every memory access.
+    """
+
+    hogged_nodes: set[int] = field(default_factory=set)
+
+    def hog(self, node: int) -> None:
+        """Mark ``node``'s memory as bandwidth-saturated."""
+        self.hogged_nodes.add(node)
+
+    def release(self, node: int) -> None:
+        """Remove interference from ``node`` (no-op when not hogged)."""
+        self.hogged_nodes.discard(node)
+
+    def is_hogged(self, node: int) -> bool:
+        return node in self.hogged_nodes
+
+    def clear(self) -> None:
+        self.hogged_nodes.clear()

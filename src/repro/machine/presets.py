@@ -1,0 +1,69 @@
+"""Ready-made machine configurations.
+
+:func:`paper_machine` reproduces the evaluation testbed of §8 (4-socket
+Intel Xeon E7-4850 v3). The smaller presets keep unit tests fast; the
+16-socket preset supports the Table 4 replica sweep.
+"""
+
+from __future__ import annotations
+
+from repro.machine.latency import MemoryTimings
+from repro.machine.topology import Machine
+from repro.units import GIB, MIB
+
+#: L3 capacity of the paper's Xeon E7-4850v3 (per socket).
+PAPER_LLC_BYTES: int = 35 * MIB
+#: Paper TLB geometry: 64-entry L1, 1024-entry L2 (per core).
+PAPER_L1_TLB_ENTRIES: int = 64
+PAPER_L2_TLB_ENTRIES: int = 1024
+
+
+def paper_machine(memory_per_socket: int = 128 * GIB) -> Machine:
+    """The paper's testbed: 4 sockets x 14 cores, 128 GiB per socket."""
+    return Machine.homogeneous(
+        n_sockets=4,
+        cores_per_socket=14,
+        memory_per_socket=memory_per_socket,
+        name="xeon-e7-4850v3",
+    )
+
+
+def paper_timings() -> MemoryTimings:
+    """Latency/bandwidth measured on the paper's testbed (§8)."""
+    return MemoryTimings(
+        local_latency=280.0,
+        remote_latency=580.0,
+        local_bandwidth=28 * GIB,
+        remote_bandwidth=11 * GIB,
+        frequency_hz=2.2e9,
+    )
+
+
+def two_socket(memory_per_socket: int = 64 * MIB, cores_per_socket: int = 2) -> Machine:
+    """A small 2-socket machine for fast tests and the Fig. 5 diagrams."""
+    return Machine.homogeneous(
+        n_sockets=2,
+        cores_per_socket=cores_per_socket,
+        memory_per_socket=memory_per_socket,
+        name="two-socket",
+    )
+
+
+def four_socket(memory_per_socket: int = 128 * MIB, cores_per_socket: int = 2) -> Machine:
+    """A scaled-down 4-socket machine (paper topology, test-sized memory)."""
+    return Machine.homogeneous(
+        n_sockets=4,
+        cores_per_socket=cores_per_socket,
+        memory_per_socket=memory_per_socket,
+        name="four-socket-small",
+    )
+
+
+def sixteen_socket(memory_per_socket: int = 64 * MIB) -> Machine:
+    """A 16-socket machine for the Table 4 replica sweep."""
+    return Machine.homogeneous(
+        n_sockets=16,
+        cores_per_socket=1,
+        memory_per_socket=memory_per_socket,
+        name="sixteen-socket",
+    )

@@ -1,0 +1,152 @@
+"""NUMA machine topology: sockets, cores and memory nodes.
+
+The simulator treats a machine as a set of *sockets*, each bundling a group
+of cores with one directly-attached memory node (the common "one NUMA node
+per socket" arrangement of the paper's testbed). Cores are globally
+numbered; a :class:`Machine` answers "which socket does core c live on" and
+"how far is node b from socket a" style questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.units import GIB, fmt_bytes
+
+
+@dataclass(frozen=True)
+class Core:
+    """One hardware thread context.
+
+    Attributes:
+        core_id: Global core number, unique across the machine.
+        socket_id: Socket (and NUMA node) the core belongs to.
+    """
+
+    core_id: int
+    socket_id: int
+
+
+@dataclass(frozen=True)
+class Socket:
+    """One CPU socket with its directly attached memory node.
+
+    Attributes:
+        socket_id: Socket number; also the NUMA node id of its memory.
+        n_cores: Number of cores on this socket.
+        memory_bytes: Capacity of the attached memory node.
+    """
+
+    socket_id: int
+    n_cores: int
+    memory_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise TopologyError(f"socket {self.socket_id} needs at least one core")
+        if self.memory_bytes <= 0:
+            raise TopologyError(f"socket {self.socket_id} needs attached memory")
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A cache-coherent NUMA machine.
+
+    Sockets are numbered ``0 .. n_sockets-1`` and each socket's memory node
+    shares its id. Construct via :func:`repro.machine.presets` helpers or
+    :meth:`Machine.homogeneous`.
+    """
+
+    sockets: tuple[Socket, ...]
+    name: str = "numa-machine"
+    _cores: tuple[Core, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.sockets:
+            raise TopologyError("a machine needs at least one socket")
+        for expected, socket in enumerate(self.sockets):
+            if socket.socket_id != expected:
+                raise TopologyError(
+                    f"sockets must be numbered contiguously from 0; "
+                    f"found id {socket.socket_id} at position {expected}"
+                )
+        cores: list[Core] = []
+        for socket in self.sockets:
+            for _ in range(socket.n_cores):
+                cores.append(Core(core_id=len(cores), socket_id=socket.socket_id))
+        object.__setattr__(self, "_cores", tuple(cores))
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_sockets: int,
+        cores_per_socket: int = 14,
+        memory_per_socket: int = 128 * GIB,
+        name: str | None = None,
+    ) -> "Machine":
+        """Build a machine with identical sockets (the common case)."""
+        sockets = tuple(
+            Socket(socket_id=i, n_cores=cores_per_socket, memory_bytes=memory_per_socket)
+            for i in range(n_sockets)
+        )
+        return cls(sockets=sockets, name=name or f"{n_sockets}-socket")
+
+    @property
+    def n_sockets(self) -> int:
+        return len(self.sockets)
+
+    @property
+    def n_cores(self) -> int:
+        return len(self._cores)
+
+    @property
+    def total_memory(self) -> int:
+        return sum(socket.memory_bytes for socket in self.sockets)
+
+    def cores(self) -> tuple[Core, ...]:
+        """All cores, ordered by global core id."""
+        return self._cores
+
+    def core(self, core_id: int) -> Core:
+        if not 0 <= core_id < len(self._cores):
+            raise TopologyError(f"no core {core_id} on {self.name}")
+        return self._cores[core_id]
+
+    def socket(self, socket_id: int) -> Socket:
+        if not 0 <= socket_id < len(self.sockets):
+            raise TopologyError(f"no socket {socket_id} on {self.name}")
+        return self.sockets[socket_id]
+
+    def socket_of_core(self, core_id: int) -> int:
+        """NUMA socket a core belongs to."""
+        return self.core(core_id).socket_id
+
+    def cores_of_socket(self, socket_id: int) -> tuple[Core, ...]:
+        self.socket(socket_id)
+        return tuple(core for core in self._cores if core.socket_id == socket_id)
+
+    def node_ids(self) -> tuple[int, ...]:
+        """All memory node ids (== socket ids)."""
+        return tuple(range(self.n_sockets))
+
+    def validate_node(self, node: int) -> int:
+        """Raise :class:`TopologyError` unless ``node`` exists; returns it."""
+        if not 0 <= node < self.n_sockets:
+            raise TopologyError(f"no NUMA node {node} on {self.name}")
+        return node
+
+    def is_local(self, socket_id: int, node: int) -> bool:
+        """True when memory ``node`` is attached to ``socket_id``."""
+        self.validate_node(node)
+        self.socket(socket_id)
+        return socket_id == node
+
+    def describe(self) -> str:
+        """One-line human description used by examples and reports."""
+        socket = self.sockets[0]
+        return (
+            f"{self.name}: {self.n_sockets} sockets x {socket.n_cores} cores, "
+            f"{fmt_bytes(socket.memory_bytes)}/socket "
+            f"({fmt_bytes(self.total_memory)} total)"
+        )

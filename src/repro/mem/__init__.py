@@ -1,0 +1,19 @@
+"""Physical memory substrate: frames, per-node allocators, page-caches and
+the fragmentation injector."""
+
+from repro.mem.allocator import HUGE_ORDER, NodeAllocator
+from repro.mem.fragmentation import FragmentationInjector
+from repro.mem.frame import Frame, FrameKind
+from repro.mem.pagecache import PageTablePageCache
+from repro.mem.physmem import NodeMemStats, PhysicalMemory
+
+__all__ = [
+    "HUGE_ORDER",
+    "Frame",
+    "FrameKind",
+    "FragmentationInjector",
+    "NodeAllocator",
+    "NodeMemStats",
+    "PageTablePageCache",
+    "PhysicalMemory",
+]

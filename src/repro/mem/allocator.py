@@ -1,0 +1,168 @@
+"""Per-NUMA-node physical frame allocator.
+
+Each memory node has its own allocator; requesting a frame from a specific
+node is *strict* in the paper's sense (§5.1): it either succeeds on that
+node or raises :class:`~repro.errors.OutOfMemoryError` — it never silently
+falls back to another node. Fallback policies live above this layer.
+
+The allocator serves two sizes: order-0 (4 KiB) frames and order-9 (2 MiB,
+naturally aligned) blocks for transparent huge pages. Never-touched memory
+is handed out from a bump pointer; freed memory is recycled from free lists.
+Small free space is kept as ``(start_pfn, count)`` ranges so fragmenting a
+large node does not materialise millions of list entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfMemoryError
+from repro.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+
+#: log2(frames per huge page)
+HUGE_ORDER = 9
+
+
+@dataclass
+class NodeAllocator:
+    """Frame allocator for one NUMA node.
+
+    Attributes:
+        node: Node id (== socket id).
+        pfn_base: First PFN belonging to this node.
+        capacity_frames: Total 4 KiB frames on the node.
+    """
+
+    node: int
+    pfn_base: int
+    capacity_frames: int
+    _bump: int = field(init=False)
+    _free_ranges: list[list[int]] = field(init=False, default_factory=list)
+    _free_huge: list[int] = field(init=False, default_factory=list)
+    _used_frames: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_frames <= 0:
+            raise ValueError(f"node {self.node}: capacity must be positive")
+        self._bump = self.pfn_base
+
+    @property
+    def pfn_end(self) -> int:
+        """One past the last PFN of this node."""
+        return self.pfn_base + self.capacity_frames
+
+    @property
+    def used_frames(self) -> int:
+        return self._used_frames
+
+    @property
+    def free_frames(self) -> int:
+        return self.capacity_frames - self._used_frames
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_frames * PAGE_SIZE
+
+    def owns(self, pfn: int) -> bool:
+        """True when ``pfn`` belongs to this node's range."""
+        return self.pfn_base <= pfn < self.pfn_end
+
+    # -- order-0 ------------------------------------------------------------
+
+    def alloc_frame(self) -> int:
+        """Allocate one 4 KiB frame; returns its PFN.
+
+        Raises:
+            OutOfMemoryError: the node has no free frame.
+        """
+        if self._free_ranges:
+            last = self._free_ranges[-1]
+            pfn = last[0]
+            last[0] += 1
+            last[1] -= 1
+            if last[1] == 0:
+                self._free_ranges.pop()
+            self._used_frames += 1
+            return pfn
+        if self._free_huge:
+            head = self._free_huge.pop()
+            self._free_ranges.append([head + 1, PAGES_PER_HUGE_PAGE - 1])
+            self._used_frames += 1
+            return head
+        if self._bump < self.pfn_end:
+            pfn = self._bump
+            self._bump += 1
+            self._used_frames += 1
+            return pfn
+        raise OutOfMemoryError(self.node, PAGE_SIZE)
+
+    def free_frame(self, pfn: int) -> None:
+        """Return one 4 KiB frame to the node."""
+        self._check_owned(pfn)
+        # Try to extend an adjacent range before growing the list.
+        for entry in reversed(self._free_ranges[-8:]):
+            if entry[0] == pfn + 1:
+                entry[0] = pfn
+                entry[1] += 1
+                self._used_frames -= 1
+                return
+            if entry[0] + entry[1] == pfn:
+                entry[1] += 1
+                self._used_frames -= 1
+                return
+        self._free_ranges.append([pfn, 1])
+        self._used_frames -= 1
+
+    # -- order-9 (2 MiB) ----------------------------------------------------
+
+    def alloc_huge(self) -> int:
+        """Allocate a naturally aligned 2 MiB block; returns the head PFN.
+
+        Raises:
+            OutOfMemoryError: no contiguous aligned block is available, even
+                if enough scattered 4 KiB frames remain — this is exactly the
+                fragmentation failure mode of Fig. 11.
+        """
+        if self._free_huge:
+            head = self._free_huge.pop()
+            self._used_frames += PAGES_PER_HUGE_PAGE
+            return head
+        aligned = -(-self._bump // PAGES_PER_HUGE_PAGE) * PAGES_PER_HUGE_PAGE
+        if aligned + PAGES_PER_HUGE_PAGE <= self.pfn_end:
+            if aligned > self._bump:
+                self._free_ranges.append([self._bump, aligned - self._bump])
+            self._bump = aligned + PAGES_PER_HUGE_PAGE
+            self._used_frames += PAGES_PER_HUGE_PAGE
+            return aligned
+        raise OutOfMemoryError(self.node, PAGES_PER_HUGE_PAGE * PAGE_SIZE)
+
+    def free_huge(self, head_pfn: int) -> None:
+        """Return a 2 MiB block allocated with :meth:`alloc_huge`."""
+        self._check_owned(head_pfn)
+        if head_pfn % PAGES_PER_HUGE_PAGE != 0:
+            raise ValueError(f"pfn {head_pfn} is not 2 MiB aligned")
+        self._free_huge.append(head_pfn)
+        self._used_frames -= PAGES_PER_HUGE_PAGE
+
+    def break_huge_block(self) -> int:
+        """Destroy one 2 MiB block's contiguity: its head frame is allocated
+        (returned) and the 511 tail frames become order-0 free memory. Used
+        by the fragmentation injector (Fig. 11).
+
+        Raises:
+            OutOfMemoryError: no 2 MiB block left to break.
+        """
+        head = self.alloc_huge()
+        self._free_ranges.append([head + 1, PAGES_PER_HUGE_PAGE - 1])
+        self._used_frames -= PAGES_PER_HUGE_PAGE - 1
+        return head
+
+    def huge_blocks_available(self) -> int:
+        """How many 2 MiB allocations could currently succeed."""
+        aligned = -(-self._bump // PAGES_PER_HUGE_PAGE) * PAGES_PER_HUGE_PAGE
+        from_bump = max(0, (self.pfn_end - aligned) // PAGES_PER_HUGE_PAGE)
+        return from_bump + len(self._free_huge)
+
+    def _check_owned(self, pfn: int) -> None:
+        if not self.owns(pfn):
+            raise ValueError(f"pfn {pfn} does not belong to node {self.node}")

@@ -1,0 +1,55 @@
+"""Physical-memory fragmentation injector (Fig. 11).
+
+Fig. 11 runs THP workloads "under heavy fragmentation": the system has free
+memory, but not enough *contiguous aligned 2 MiB* blocks, so huge-page
+allocation fails and the kernel falls back to 4 KiB pages. We age the
+machine the same way: break a chosen fraction of each node's remaining
+2 MiB blocks by pinning their head frame; the other 511 frames of each
+broken block stay available to order-0 allocations, so total free memory
+barely moves while huge-page availability collapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfMemoryError
+from repro.mem.frame import Frame
+from repro.mem.physmem import PhysicalMemory
+
+
+@dataclass
+class FragmentationInjector:
+    """Destroys 2 MiB contiguity on demand, reversibly."""
+
+    physmem: PhysicalMemory
+    _pins: list[Frame] = field(default_factory=list, init=False)
+
+    def fragment_node(self, node: int, fraction: float) -> int:
+        """Break ``fraction`` of the node's currently available 2 MiB blocks.
+
+        Returns the number of blocks broken (may be fewer than requested if
+        the node runs out of blocks mid-way).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        target = int(self.physmem.huge_blocks_available(node) * fraction)
+        broken = 0
+        for _ in range(target):
+            try:
+                self._pins.append(self.physmem.break_huge_block(node))
+            except OutOfMemoryError:
+                break
+            broken += 1
+        return broken
+
+    def fragment_machine(self, fraction: float) -> int:
+        """Fragment every node; returns total blocks broken."""
+        return sum(
+            self.fragment_node(node, fraction) for node in self.physmem.machine.node_ids()
+        )
+
+    def release(self) -> None:
+        """Undo all pinning (frees the pinned head frames)."""
+        while self._pins:
+            self.physmem.free(self._pins.pop())

@@ -1,0 +1,88 @@
+"""Mitosis: transparently self-replicating page-tables.
+
+The paper's contribution — mechanism (§5) and policies (§6) — implemented
+against the simulated kernel:
+
+* :class:`~repro.mitosis.backend.MitosisPagingOps` — the replicating
+  PV-Ops backend with eager, ring-linked update propagation;
+* :mod:`~repro.mitosis.replication` — replicating / collapsing a live tree;
+* :mod:`~repro.mitosis.migration` — page-table migration via replication;
+* :class:`~repro.mitosis.manager.MitosisManager` — the libnuma/numactl
+  policy API plus the §6.1 auto-trigger.
+"""
+
+from repro.mitosis.accessed_dirty import (
+    clear_ad_everywhere,
+    gather_ad_bits,
+    read_entry_or_ad,
+)
+from repro.mitosis.backend import MitosisPagingOps
+from repro.mitosis.background import (
+    ReplicationJob,
+    run_to_completion,
+    start_background_replication,
+)
+from repro.mitosis.daemon import DaemonDecision, MitosisDaemon
+from repro.mitosis.lazy import LazyMitosisPagingOps, LazyStats, UpdateMessage, make_lazy
+from repro.mitosis.manager import MitosisManager
+from repro.mitosis.naive import (
+    NaiveMitosisPagingOps,
+    naive_update_cost_refs,
+    ring_update_cost_refs,
+)
+from repro.mitosis.migration import (
+    PtMigrationResult,
+    migrate_page_tables,
+    migrate_process_with_pagetables,
+)
+from repro.mitosis.policy import ReplicationTrigger, parse_socket_list
+from repro.mitosis.reclaim import ReclaimReport, reclaim_replicas
+from repro.mitosis.replication import (
+    collapse_replicas,
+    enable_replication,
+    replica_sockets,
+    shrink_replication,
+)
+from repro.mitosis.ring import (
+    link_ring,
+    primary_of,
+    replica_on_socket,
+    ring_members,
+    unlink_ring,
+)
+
+__all__ = [
+    "DaemonDecision",
+    "LazyMitosisPagingOps",
+    "LazyStats",
+    "MitosisDaemon",
+    "MitosisManager",
+    "UpdateMessage",
+    "make_lazy",
+    "MitosisPagingOps",
+    "NaiveMitosisPagingOps",
+    "PtMigrationResult",
+    "ReclaimReport",
+    "ReplicationJob",
+    "reclaim_replicas",
+    "shrink_replication",
+    "naive_update_cost_refs",
+    "ring_update_cost_refs",
+    "run_to_completion",
+    "start_background_replication",
+    "ReplicationTrigger",
+    "clear_ad_everywhere",
+    "collapse_replicas",
+    "enable_replication",
+    "gather_ad_bits",
+    "link_ring",
+    "migrate_page_tables",
+    "migrate_process_with_pagetables",
+    "parse_socket_list",
+    "primary_of",
+    "read_entry_or_ad",
+    "replica_on_socket",
+    "replica_sockets",
+    "ring_members",
+    "unlink_ring",
+]

@@ -1,0 +1,39 @@
+"""Accessed/dirty bit handling across replicas (§5.4).
+
+The hardware walker sets A/D bits in whichever replica it happened to walk
+— without going through the OS's update interface. A replicated page-table
+therefore has the truth *scattered* across replicas:
+
+* reading: the OS must OR the A/D bits of all replicas (a page was
+  accessed iff *any* replica says so);
+* resetting: the OS must clear the bits in *all* replicas, or a stale bit
+  resurrects on the next read.
+
+These helpers implement both; the Mitosis backend routes its ``read_pte``
+and ``clear_ad_bits`` through them.
+"""
+
+from __future__ import annotations
+
+from repro.paging.pagetable import PageTablePage, PageTableTree
+from repro.paging.pte import PTE_AD_BITS
+
+
+def gather_ad_bits(tree: PageTableTree, members: list[PageTablePage], index: int) -> int:
+    """OR of the A/D bits of entry ``index`` across all ``members``."""
+    bits = 0
+    for member in members:
+        bits |= member.entries[index] & PTE_AD_BITS
+    return bits
+
+
+def read_entry_or_ad(tree: PageTableTree, members: list[PageTablePage], index: int) -> int:
+    """The entry as the OS must see it: the first member's value with the
+    A/D bits of every replica ORed in."""
+    return members[0].entries[index] | gather_ad_bits(tree, members, index)
+
+
+def clear_ad_everywhere(tree: PageTableTree, members: list[PageTablePage], index: int) -> None:
+    """Reset A/D bits of entry ``index`` in every replica."""
+    for member in members:
+        member.entries[index] &= ~PTE_AD_BITS

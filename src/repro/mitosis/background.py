@@ -1,0 +1,166 @@
+"""Incremental (background) replica creation (§6.1).
+
+"Even if the OS makes a decision to migrate or replicate the page-tables,
+it may be costly to copy the entire page-table as big memory workloads
+easily achieve page-tables of multiple GB in size. By using additional
+threads or even DMA engines ... the creation of a replica can happen in
+the background and the application regains full performance when the
+replica or migration has completed."
+
+:class:`ReplicationJob` realises that: the replicating backend is switched
+in immediately (so every *update* stays consistent from the first moment,
+and tables allocated after the job starts are born fully replicated), while
+the *existing* tables are copied in bounded steps, bottom-up. Bottom-up
+order means that whenever a table's ring is built, all of its children's
+rings already exist, so its copies can be wired to socket-local children in
+one pass — and partially-replicated states are always consistent: copies
+that don't exist yet simply leave walks on the primary path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfMemoryError, ReplicationError
+from repro.kernel.costs import TABLE_ALLOC_CYCLES
+from repro.mem.frame import FrameKind
+from repro.mem.pagecache import PageTablePageCache
+from repro.mitosis.backend import MitosisPagingOps
+from repro.mitosis.ring import link_ring, replica_on_socket, ring_members
+from repro.paging.levels import LEAF_LEVEL
+from repro.paging.pagetable import PageTablePage, PageTableTree, PagingOps
+from repro.paging.pte import make_pte, pte_flags, pte_huge, pte_pfn, pte_present
+from repro.units import PTES_PER_TABLE
+
+
+@dataclass
+class ReplicationJob:
+    """An in-flight background replication of one tree onto ``mask``."""
+
+    tree: PageTableTree
+    pagecache: PageTablePageCache
+    mask: frozenset[int]
+    tables_copied: int = 0
+    _pending: list[int] = field(default_factory=list)  # primary pfns, deepest first
+
+    @property
+    def done(self) -> bool:
+        return not self._pending
+
+    @property
+    def remaining(self) -> int:
+        return len(self._pending)
+
+    def step(self, max_tables: int = 16) -> float:
+        """Replicate up to ``max_tables`` more tables; returns the cycles
+        the copy work cost. Safe to interleave with arbitrary mapping
+        activity on the tree.
+
+        Raises:
+            OutOfMemoryError: a target socket ran dry; the job stays
+                consistent and resumable — free memory and call again.
+        """
+        cycles = 0.0
+        copied = 0
+        while self._pending and copied < max_tables:
+            pfn = self._pending[-1]
+            primary = self.tree.registry.get(pfn)
+            if primary is None or primary.is_replica:
+                self._pending.pop()  # table was freed (or absorbed) meanwhile
+                continue
+            cycles += _replicate_ring(self.tree, self.pagecache, primary, self.mask)
+            self._pending.pop()
+            copied += 1
+            self.tables_copied += 1
+        return cycles
+
+
+def start_background_replication(
+    tree: PageTableTree,
+    pagecache: PageTablePageCache,
+    mask: frozenset[int],
+) -> ReplicationJob:
+    """Begin replicating ``tree`` onto ``mask`` incrementally.
+
+    Swaps the backend to :class:`MitosisPagingOps` right away: updates are
+    propagated to whatever copies exist, and *new* tables are created fully
+    replicated. Existing tables are copied by :meth:`ReplicationJob.step`.
+    """
+    if not mask:
+        raise ReplicationError("empty mask")
+    if not isinstance(tree.ops, MitosisPagingOps):
+        new_ops = MitosisPagingOps(pagecache, mask)
+        new_ops.stats = tree.ops.stats
+        tree.ops = new_ops
+    else:
+        tree.ops.mask = frozenset(mask)
+    # Deepest-level tables first (bottom-up): children before parents.
+    primaries = sorted(tree.iter_tables(), key=lambda page: page.level)
+    job = ReplicationJob(
+        tree=tree,
+        pagecache=pagecache,
+        mask=frozenset(mask),
+        _pending=[page.pfn for page in reversed(primaries)],
+    )
+    return job
+
+
+def _replicate_ring(
+    tree: PageTableTree,
+    pagecache: PageTablePageCache,
+    primary: PageTablePage,
+    mask: frozenset[int],
+) -> float:
+    """Bring one table's ring up to ``mask`` coverage; returns cycle cost.
+
+    Requires every child of ``primary`` to already satisfy the mask (the
+    bottom-up order guarantees it), so each copy can point at socket-local
+    children immediately.
+    """
+    members = ring_members(tree, primary)
+    have = {member.node for member in members}
+    missing = sorted(mask - have)
+    if not missing:
+        return 0.0
+    fresh: list[PageTablePage] = []
+    try:
+        for socket in missing:
+            frame = pagecache.alloc(socket)
+            frame.kind = FrameKind.PAGE_TABLE
+            fresh.append(PageTablePage(frame=frame, level=primary.level, primary=primary))
+    except OutOfMemoryError:
+        for page in fresh:
+            pagecache.free(page.frame)
+        raise
+    for replica in fresh:
+        tree.registry[replica.pfn] = replica
+    link_ring(members + fresh)
+    ops = tree.ops
+    cycles = len(fresh) * TABLE_ALLOC_CYCLES
+    non_leaf = primary.level > LEAF_LEVEL
+    for member in members + fresh:
+        is_new = member in fresh
+        for index, entry in enumerate(primary.entries):
+            if not pte_present(entry):
+                continue
+            if non_leaf and not pte_huge(entry):
+                child = tree.registry[pte_pfn(entry)]
+                local_child = replica_on_socket(tree, child, member.node) or child
+                value = make_pte(local_child.pfn, pte_flags(entry))
+            elif not is_new:
+                continue
+            else:
+                value = entry
+            if member.entries[index] != value:
+                PagingOps.apply_entry_write(member, index, value)
+                ops.stats.pte_writes += 1
+    ops.stats.tables_allocated += len(fresh)
+    return cycles + primary.valid_count * len(fresh) * 2.0  # copy cost estimate
+
+
+def run_to_completion(job: ReplicationJob, max_tables_per_step: int = PTES_PER_TABLE) -> float:
+    """Drive a job until done (tests/examples convenience)."""
+    total = 0.0
+    while not job.done:
+        total += job.step(max_tables_per_step)
+    return total

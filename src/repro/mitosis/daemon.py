@@ -1,0 +1,92 @@
+"""The counter-driven system-wide policy daemon (§6.1).
+
+"Event-based triggers can be developed for page-table migration and
+replication within the OS. For instance, the OS can obtain TLB miss rates
+or cycles spent walking page-tables through performance counters ... and
+then apply policy decisions automatically."
+
+The paper leaves the automatic approach as future work; this daemon
+implements it. It observes perf-counter-style snapshots (the simulator's
+:class:`~repro.sim.metrics.RunMetrics` stands in for the PMU) and:
+
+* **replicates** a multi-socket process once walk-cycle pressure crosses
+  the trigger thresholds and the process has run long enough to amortise
+  the copy (short-running processes are deliberately never touched);
+* **migrates page-tables** when it notices a single-socket process whose
+  page-tables live elsewhere (the post-OS-migration state of §3.2).
+
+Wire it to a run via ``EngineConfig.epoch_callback``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.process import Process
+from repro.mitosis.manager import MitosisManager
+from repro.mitosis.replication import replica_sockets
+from repro.sim.metrics import RunMetrics
+
+
+@dataclass
+class DaemonDecision:
+    """One action the daemon took."""
+
+    epoch: int
+    action: str  # "replicate" | "migrate-pt"
+    detail: str
+
+
+@dataclass
+class MitosisDaemon:
+    """Watches one process' counters; acts through the policy manager."""
+
+    manager: MitosisManager
+    process: Process
+    decisions: list[DaemonDecision] = field(default_factory=list)
+
+    def observe(self, epoch: int, metrics: RunMetrics) -> bool:
+        """Inspect counters after an epoch; returns True if it acted."""
+        process = self.process
+        mm = process.mm
+        runtime = metrics.runtime_cycles
+        walk_fraction = metrics.walk_cycle_fraction
+        miss_rate = metrics.tlb_miss_rate
+
+        sockets_running = process.sockets_in_use()
+        if len(sockets_running) > 1:
+            # Multi-socket process: replication candidate.
+            if mm.replicated:
+                return False
+            if self.manager.auto_replicate(process, walk_fraction, miss_rate, runtime):
+                self.decisions.append(
+                    DaemonDecision(
+                        epoch=epoch,
+                        action="replicate",
+                        detail=f"walk {walk_fraction:.0%}, miss {miss_rate:.0%} "
+                        f"-> replicate on {sorted(sockets_running)}",
+                    )
+                )
+                return True
+            return False
+
+        # Single-socket process: page-table migration candidate.
+        (socket,) = sockets_running
+        if not self.manager.trigger.should_replicate(walk_fraction, miss_rate, runtime):
+            return False
+        if socket in replica_sockets(mm.tree):
+            return False  # page-tables already local
+        result = self.manager.kernel_migrate_page_tables(process, socket)
+        self.decisions.append(
+            DaemonDecision(
+                epoch=epoch,
+                action="migrate-pt",
+                detail=f"walk {walk_fraction:.0%} with remote page-tables "
+                f"-> migrated {result.tables_copied} tables to socket {socket}",
+            )
+        )
+        return True
+
+    def callback(self):
+        """Adapter for ``EngineConfig.epoch_callback``."""
+        return lambda epoch, metrics: self.observe(epoch, metrics)

@@ -1,0 +1,80 @@
+"""Replication policies (§6).
+
+Two layers, as in the paper:
+
+* **system-wide** — the four-state sysctl lives in
+  :class:`repro.kernel.sysctl.Sysctl`; this module adds the event-based
+  trigger sketched in §6.1 (watch TLB-pressure counters, replicate when a
+  process would benefit);
+* **user-controlled** — the ``numactl --pgtablerepl=<sockets>`` /
+  ``numa_set_pgtable_replication_mask`` interface of Listing 2, including
+  the socket-list syntax ``"0-2,5"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReplicationError
+
+
+def parse_socket_list(spec: str) -> frozenset[int]:
+    """Parse ``numactl``-style socket lists: ``"0,2"``, ``"0-3"``, ``"0-1,3"``.
+
+    An empty string is the paper's "empty bitmask": it restores default
+    (non-replicated) behaviour, so it parses to the empty set.
+    """
+    spec = spec.strip()
+    if not spec:
+        return frozenset()
+    sockets: set[int] = set()
+    for part in spec.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo_text, _, hi_text = part.partition("-")
+            try:
+                lo, hi = int(lo_text), int(hi_text)
+            except ValueError:
+                raise ReplicationError(f"bad socket range {part!r}") from None
+            if hi < lo:
+                raise ReplicationError(f"bad socket range {part!r}")
+            sockets.update(range(lo, hi + 1))
+        else:
+            try:
+                sockets.add(int(part))
+            except ValueError:
+                raise ReplicationError(f"bad socket id {part!r}") from None
+    return frozenset(sockets)
+
+
+@dataclass(frozen=True)
+class ReplicationTrigger:
+    """The §6.1 counter-based policy: replicate when TLB-miss handling is a
+    big enough share of a long-enough-running process' time.
+
+    Attributes:
+        min_walk_cycle_fraction: Minimum fraction of cycles spent in
+            page-walks before replication is worthwhile.
+        min_tlb_miss_rate: Minimum end-to-end TLB miss rate.
+        min_runtime_cycles: Processes shorter than this can never amortise
+            the replica-creation cost (§6.1 "disable page-table replication
+            for short-running processes").
+    """
+
+    min_walk_cycle_fraction: float = 0.10
+    min_tlb_miss_rate: float = 0.01
+    min_runtime_cycles: float = 1e8
+
+    def should_replicate(
+        self,
+        walk_cycle_fraction: float,
+        tlb_miss_rate: float,
+        runtime_cycles: float,
+    ) -> bool:
+        """Decide from perf-counter style inputs."""
+        if runtime_cycles < self.min_runtime_cycles:
+            return False
+        return (
+            walk_cycle_fraction >= self.min_walk_cycle_fraction
+            and tlb_miss_rate >= self.min_tlb_miss_rate
+        )

@@ -1,0 +1,251 @@
+"""Building and dissolving page-table replicas on a live tree.
+
+Setting a replication mask on a running process must replicate the
+*existing* page-table ("Whenever a new mask is set, Mitosis will walk the
+existing page-table and create replicas according to the new bitmask",
+§6.2). :func:`enable_replication` performs that walk; \
+:func:`collapse_replicas` implements the inverse (used when the mask is
+cleared, and by page-table migration's eager-free mode, §5.5).
+"""
+
+from __future__ import annotations
+
+from repro.errors import OutOfMemoryError, ReplicationError
+from repro.kernel.policy import PlacementPolicy
+from repro.kernel.pvops import NativePagingOps
+from repro.mem.frame import FrameKind
+from repro.mem.pagecache import PageTablePageCache
+from repro.mitosis.backend import MitosisPagingOps
+from repro.mitosis.ring import link_ring, replica_on_socket, ring_members, unlink_ring
+from repro.paging.levels import LEAF_LEVEL
+from repro.paging.pagetable import PageTablePage, PageTableTree, PagingOps
+from repro.paging.pte import make_pte, pte_flags, pte_huge, pte_pfn, pte_present
+
+
+def replica_sockets(tree: PageTableTree) -> frozenset[int]:
+    """Sockets currently holding a copy of the tree's root."""
+    return frozenset(member.node for member in ring_members(tree, tree.root))
+
+
+def enable_replication(
+    tree: PageTableTree,
+    pagecache: PageTablePageCache,
+    mask: frozenset[int],
+) -> MitosisPagingOps:
+    """Replicate an existing tree onto every socket in ``mask``.
+
+    Copies that already exist are kept; missing ones are allocated, wired
+    semantically (upper levels point at same-socket children) and
+    ring-linked. The tree's ops backend is swapped to
+    :class:`MitosisPagingOps` so subsequent updates stay consistent.
+    """
+    if not mask:
+        raise ReplicationError("empty mask; use collapse_replicas to disable")
+    primaries = list(tree.iter_tables())
+    new_ops = MitosisPagingOps(pagecache, mask)
+    new_ops.stats = tree.ops.stats  # carry counters across the backend swap
+
+    # Pass 0: reserve every frame the replication will need *before*
+    # touching the tree, so a strict per-socket allocation failure (§5.1)
+    # leaves the address space exactly as it was.
+    needed: dict[int, int] = {}
+    for primary in primaries:
+        have = {member.node for member in ring_members(tree, primary)}
+        for socket in mask - have:
+            needed[socket] = needed.get(socket, 0) + 1
+    reserved: dict[int, list] = {socket: [] for socket in needed}
+    try:
+        for socket, count in needed.items():
+            for _ in range(count):
+                reserved[socket].append(pagecache.alloc(socket))
+    except OutOfMemoryError:
+        for frames in reserved.values():
+            while frames:
+                pagecache.free(frames.pop())
+        raise
+
+    # Pass 1: allocate missing copies and re-link every ring.
+    created: set[int] = set()  # pfns of freshly allocated replicas
+    rings: list[tuple[PageTablePage, list[PageTablePage]]] = []
+    for primary in primaries:
+        members = ring_members(tree, primary)
+        have = {member.node for member in members}
+        for socket in sorted(mask - have):
+            frame = reserved[socket].pop()
+            frame.kind = FrameKind.PAGE_TABLE
+            replica = PageTablePage(frame=frame, level=primary.level, primary=primary)
+            tree.registry[replica.pfn] = replica
+            members.append(replica)
+            created.add(replica.pfn)
+            new_ops.stats.tables_allocated += 1
+        link_ring(members)
+        rings.append((primary, members))
+    assert all(not frames for frames in reserved.values())
+
+    # Pass 2: establish the semantic-replication invariant on *every* copy
+    # (child rings now all exist): new replicas get all entries filled;
+    # pre-existing copies get their upper-level pointers rewired to their
+    # own socket's child copy. Leaf entries are identical everywhere.
+    for primary, members in rings:
+        non_leaf = primary.level > LEAF_LEVEL
+        for member in members:
+            is_new = member.pfn in created
+            for index, entry in enumerate(primary.entries):
+                if not pte_present(entry):
+                    continue
+                if non_leaf and not pte_huge(entry):
+                    child = tree.registry[pte_pfn(entry)]
+                    local_child = replica_on_socket(tree, child, member.node) or child
+                    value = make_pte(local_child.pfn, pte_flags(entry))
+                elif not is_new:
+                    continue  # leaf entry already present and identical
+                else:
+                    value = entry
+                if member.entries[index] != value:
+                    PagingOps.apply_entry_write(member, index, value)
+                    new_ops.stats.pte_writes += 1
+
+    tree.ops = new_ops
+    return new_ops
+
+
+def shrink_replication(
+    tree: PageTableTree,
+    pagecache: PageTablePageCache,
+    drop_sockets: frozenset[int],
+) -> int:
+    """Free the replicas on ``drop_sockets`` without disturbing the rest.
+
+    The §5.5 lazy-deallocation path: replicas kept "in case the process
+    gets migrated back" are released when memory becomes scarce. Primary
+    copies are never dropped (use :func:`collapse_replicas` to re-root).
+
+    Returns the number of table pages freed. Sockets that lose their copy
+    simply fall back to walking the primary, like any unmasked socket.
+    """
+    # Pass A: decide what goes. Primaries always stay. Note iter_tables
+    # yields whichever *copy* the local-pointer descent reaches — resolve
+    # each ring's true primary explicitly.
+    rings = []
+    dropping: dict[int, PageTablePage] = {}  # dropped pfn -> its ring's primary
+    for page in tree.iter_tables():
+        members = ring_members(tree, page)
+        primary = next((m for m in members if not m.is_replica), members[0])
+        rings.append((primary, members))
+        for member in members:
+            if member.is_replica and member.node in drop_sockets:
+                dropping[member.pfn] = primary
+
+    # Pass B: surviving copies must not point at dropped child replicas —
+    # repoint them at the child's primary (a remote-but-valid fallback,
+    # exactly what an unmasked socket walks anyway).
+    for primary, members in rings:
+        if primary.level == LEAF_LEVEL:
+            continue
+        for member in members:
+            if member.pfn in dropping:
+                continue
+            for index, entry in enumerate(member.entries):
+                if not pte_present(entry) or pte_huge(entry):
+                    continue
+                target = dropping.get(pte_pfn(entry))
+                if target is not None:
+                    PagingOps.apply_entry_write(
+                        member, index, make_pte(target.pfn, pte_flags(entry))
+                    )
+                    tree.ops.stats.pte_writes += 1
+
+    # Pass C: relink rings and free the dropped frames.
+    freed = 0
+    for primary, members in rings:
+        keep = [m for m in members if m.pfn not in dropping]
+        drop = [m for m in members if m.pfn in dropping]
+        if not drop:
+            continue
+        unlink_ring(members)
+        link_ring(keep)
+        for member in drop:
+            del tree.registry[member.pfn]
+            pagecache.free(member.frame)
+            tree.ops.stats.tables_released += 1
+            freed += 1
+    if isinstance(tree.ops, MitosisPagingOps):
+        # New tables keep covering whatever the mask still asks for.
+        new_mask = tree.ops.mask - drop_sockets
+        tree.ops.mask = new_mask or frozenset({tree.root.node})
+        # Downgrade to the native backend only when *every* ring is a
+        # singleton (rings are heterogeneous when primaries sit outside
+        # the mask, so the root ring alone proves nothing).
+        all_single = all(
+            page.frame.replica_next is None or page.frame.replica_next == page.pfn
+            for page in tree.registry.values()
+        )
+        if all_single:
+            new_ops = NativePagingOps(pagecache)
+            new_ops.stats = tree.ops.stats
+            tree.ops = new_ops
+            for page in tree.registry.values():
+                page.frame.replica_next = None
+    return freed
+
+
+def collapse_replicas(
+    tree: PageTableTree,
+    pagecache: PageTablePageCache,
+    keep_socket: int,
+    pt_policy: PlacementPolicy | None = None,
+) -> NativePagingOps:
+    """Dissolve replication, keeping only the copy on ``keep_socket``.
+
+    The kept copy becomes the (single) primary — this is how page-table
+    *migration* frees the origin socket's tables eagerly (§5.5). The ops
+    backend reverts to :class:`~repro.kernel.pvops.NativePagingOps`.
+
+    Rings need not cover ``keep_socket`` uniformly (masks that exclude a
+    table's primary socket leave mixed coverage); missing copies are built
+    first, so the collapse is all-or-nothing.
+
+    Raises:
+        OutOfMemoryError: ``keep_socket`` cannot hold the missing copies;
+            the tree is left exactly as it was.
+    """
+    old_root = tree.root
+    # Gap-fill: guarantee every ring has a copy on the kept socket before
+    # any mutation (enable_replication is idempotent and OOM-atomic).
+    enable_replication(tree, pagecache, frozenset({keep_socket}))
+    new_ops = NativePagingOps(pagecache, pt_policy=pt_policy)
+    new_ops.stats = tree.ops.stats
+
+    for primary in list(tree.iter_tables()):
+        members = ring_members(tree, primary)
+        keep = next((m for m in members if m.node == keep_socket), None)
+        assert keep is not None, "gap-fill guaranteed a copy on the kept socket"
+        unlink_ring(members)
+        keep.primary = None
+        for member in members:
+            if member is keep:
+                continue
+            del tree.registry[member.pfn]
+            pagecache.free(member.frame)
+            new_ops.stats.tables_released += 1
+
+    new_root = tree.registry[
+        MitosisRootFinder.root_pfn_on(tree, old_root, keep_socket)
+    ]
+    tree.root = new_root
+    tree.ops = new_ops
+    return new_ops
+
+
+class MitosisRootFinder:
+    """Small helper: resolve the kept root before/after ring teardown."""
+
+    @staticmethod
+    def root_pfn_on(tree: PageTableTree, old_root: PageTablePage, socket: int) -> int:
+        if old_root.node == socket and old_root.pfn in tree.registry:
+            return old_root.pfn
+        # Ring already unlinked: find the surviving root-level copy on socket.
+        for page in tree.registry.values():
+            if page.level == old_root.level and page.node == socket and page.primary is None:
+                return page.pfn
+        raise ReplicationError(f"lost the root while collapsing to socket {socket}")

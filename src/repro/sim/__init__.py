@@ -1,0 +1,41 @@
+"""Simulation: execution engine, scenario harnesses, metrics."""
+
+from repro.sim.engine import EngineConfig, Simulator
+from repro.sim.metrics import RunMetrics, ThreadMetrics
+from repro.sim.perfcounters import PerfReport, perf_stat, render_perf
+from repro.sim.runner import Bar, normalize, render_figure
+from repro.sim.scenario import (
+    MIGRATION_CONFIGS,
+    MULTISOCKET_CONFIGS,
+    MigrationConfig,
+    ScenarioResult,
+    ScenarioSetup,
+    measure,
+    run_migration,
+    run_multisocket,
+    setup_migration,
+    setup_multisocket,
+)
+
+__all__ = [
+    "Bar",
+    "EngineConfig",
+    "MIGRATION_CONFIGS",
+    "MULTISOCKET_CONFIGS",
+    "MigrationConfig",
+    "PerfReport",
+    "RunMetrics",
+    "ScenarioResult",
+    "ScenarioSetup",
+    "Simulator",
+    "ThreadMetrics",
+    "measure",
+    "normalize",
+    "perf_stat",
+    "render_perf",
+    "render_figure",
+    "run_migration",
+    "run_multisocket",
+    "setup_migration",
+    "setup_multisocket",
+]

@@ -1,0 +1,274 @@
+"""The execution engine: drives address streams through the memory system.
+
+For every access the engine models the full translation stack the paper
+reasons about:
+
+1. per-core two-level TLB lookup — hit means no walk at all;
+2. on a miss, the paging-structure caches pick the deepest walk starting
+   point (usually: straight to the leaf PTE);
+3. the hardware walker fetches one PTE cache-line per remaining level; each
+   fetch probes the socket's LLC and, on a miss, pays the DRAM latency of
+   whichever NUMA node holds that page-table page — *this* is where
+   page-table placement becomes walk cycles;
+4. the data access itself pays its own locality-dependent cost.
+
+Latency is divided by the workload's memory-level parallelism (overlapped
+misses), the bandwidth term is not; interference inflates both for hogged
+nodes (see :mod:`repro.machine.latency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cache.llc import SocketLlc
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.paging.walker import HardwareWalker
+from repro.sim.metrics import RunMetrics, ThreadMetrics
+from repro.tlb.mmu_cache import MmuCacheConfig, MmuCaches
+from repro.tlb.tlb import TlbConfig, TlbHierarchy
+from repro.units import KIB
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of one simulation run.
+
+    ``pt_llc_bytes`` is the LLC capacity *visible to page-table lines* —
+    scaled with the footprint scale-down exactly as DESIGN.md describes (a
+    35 MiB LLC holds a vanishing fraction of a 0.5 TB working set's leaf
+    PTEs; 16 KiB preserves that regime at 128 MiB footprints while still
+    letting the tiny 2 MiB-page leaf level fit, reproducing §8.2).
+    """
+
+    accesses_per_thread: int = 40_000
+    pt_llc_bytes: int = 16 * KIB
+    llc_hit_cycles: float = 40.0
+    #: Concurrent hardware page walkers per core: even workloads with high
+    #: memory-level parallelism can only overlap this many walks, which is
+    #: why remote page-tables can hurt *more* than remote data (§3.2
+    #: observation 4).
+    page_walkers: int = 2
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    mmu: MmuCacheConfig = field(default_factory=MmuCacheConfig)
+    #: AutoNUMA: number of balance passes spread through the run (0 = off).
+    autonuma_epochs: int = 0
+    #: Sample 1 in N accesses for AutoNUMA hinting.
+    autonuma_sample: int = 64
+    #: Split the run into this many epochs even without AutoNUMA (enables
+    #: the epoch callback below; 0 = single epoch).
+    epochs: int = 0
+    #: Invoked between epochs with (epoch_index, metrics_so_far) — the hook
+    #: the §6.1 counter-driven policy daemon observes runs through.
+    epoch_callback: "Callable[[int, RunMetrics], None] | None" = None
+    seed: int = 7
+
+
+class Simulator:
+    """Runs workload streams against one kernel."""
+
+    def __init__(self, kernel: Kernel, config: EngineConfig | None = None):
+        self.kernel = kernel
+        self.config = config or EngineConfig()
+        machine = kernel.machine
+        # Homogeneous PFN partition -> O(1) node-of-pfn.
+        self._frames_per_node = machine.sockets[0].memory_bytes // 4096
+        for socket in machine.sockets:
+            assert socket.memory_bytes // 4096 == self._frames_per_node, (
+                "engine fast path assumes homogeneous nodes"
+            )
+
+    def run(
+        self,
+        process: Process,
+        workload,
+        thread_sockets: list[int],
+        va_base: int,
+    ) -> RunMetrics:
+        """Simulate ``workload`` on ``process`` with one thread per entry of
+        ``thread_sockets``, accessing the mapping at ``va_base``.
+
+        The VMA must already exist (see :class:`repro.sim.scenario` for
+        population/placement); demand faults raised mid-run are serviced and
+        charged to ``fault_cycles``.
+        """
+        config = self.config
+        kernel = self.kernel
+        metrics = RunMetrics()
+        n_threads = len(thread_sockets)
+        autonuma_on = kernel.sysctl.autonuma_enabled and config.autonuma_epochs > 0
+        epochs = max(1, config.epochs, config.autonuma_epochs if autonuma_on else 0)
+
+        # Per-socket LLCs (page-table lines), shared by threads on a socket.
+        # The workload's data traffic competes for the same ways: on each
+        # walk, the leaf PTE line has been evicted since its last use with
+        # probability pt_llc_pressure. This is what lets Redis/Canneal lose
+        # their page-table lines even with 2 MiB pages while GUPS keeps its
+        # tiny, hot leaf level resident (the §8.2 analysis behind Fig. 10b).
+        llcs = {
+            node: SocketLlc(config.pt_llc_bytes, name=f"llc{node}")
+            for node in kernel.machine.node_ids()
+        }
+        # Per-thread translation hardware, registered for shootdowns.
+        kernel.cpu_contexts.clear()
+        contexts = []
+        for _ in range(n_threads):
+            context = (TlbHierarchy(config.tlb), MmuCaches(config.mmu))
+            contexts.append(context)
+            kernel.cpu_contexts.append(context)
+
+        walker = HardwareWalker(process.mm.tree)
+        streams = []
+        for t, socket in enumerate(thread_sockets):
+            kernel.scheduler.context_switch(process, socket)
+            offsets = workload.offsets(t, n_threads, config.accesses_per_thread)
+            writes = workload.writes(t, config.accesses_per_thread)
+            vas = (np.asarray(offsets, dtype=np.int64) + va_base).tolist()
+            streams.append((vas, writes.tolist()))
+            metrics.threads.append(ThreadMetrics(thread=t, socket=socket))
+
+        hit_rate = workload.profile.data_llc_hit_rate
+        pressure = workload.profile.pt_llc_pressure
+        rng = np.random.default_rng(config.seed)
+        rolls = [
+            (rng.random(config.accesses_per_thread) < hit_rate).tolist()
+            for _ in range(n_threads)
+        ]
+        pollution = [
+            (rng.random(config.accesses_per_thread) < pressure).tolist()
+            for _ in range(n_threads)
+        ]
+
+        per_epoch = config.accesses_per_thread // epochs
+        for epoch in range(epochs):
+            lo = epoch * per_epoch
+            hi = config.accesses_per_thread if epoch == epochs - 1 else lo + per_epoch
+            for t, socket in enumerate(thread_sockets):
+                vas, writes = streams[t]
+                self._run_thread(
+                    process,
+                    walker,
+                    contexts[t],
+                    llcs,
+                    socket,
+                    vas[lo:hi],
+                    writes[lo:hi],
+                    rolls[t][lo:hi],
+                    pollution[t][lo:hi],
+                    workload.profile.mlp,
+                    metrics.threads[t],
+                )
+            if autonuma_on and epoch < epochs - 1:
+                work = kernel.autonuma.balance(process)
+                metrics.overhead_cycles += work.cycles()
+                metrics.overhead_cycles += kernel.shootdown.flush_all(kernel.cpu_contexts)
+            if config.epoch_callback is not None and epoch < epochs - 1:
+                config.epoch_callback(epoch, metrics)
+        return metrics
+
+    # -- hot loop ---------------------------------------------------------------
+
+    def _run_thread(
+        self,
+        process: Process,
+        walker: HardwareWalker,
+        context: tuple[TlbHierarchy, MmuCaches],
+        llcs: dict[int, SocketLlc],
+        socket: int,
+        vas: list[int],
+        writes: list[bool],
+        hit_rolls: list[bool],
+        pollution_rolls: list[bool],
+        mlp: float,
+        out: ThreadMetrics,
+    ) -> None:
+        kernel = self.kernel
+        timings = kernel.timings
+        hogged = kernel.contention.hogged_nodes
+        nodes = kernel.machine.node_ids()
+        # Precomputed cost tables: [node] -> cycles for this socket. Data
+        # accesses overlap up to the workload's MLP; walks only up to the
+        # core's page-walker count.
+        walk_mlp = min(mlp, float(self.config.page_walkers))
+        data_cost = [
+            timings.access_cycles(socket, node, mlp=mlp, hogged=(node in hogged))
+            for node in nodes
+        ]
+        walk_cost = [
+            timings.access_cycles(socket, node, mlp=walk_mlp, hogged=(node in hogged))
+            for node in nodes
+        ]
+        llc_hit_cost = self.config.llc_hit_cycles / mlp
+        walk_llc_hit_cost = self.config.llc_hit_cycles / walk_mlp
+        frames_per_node = self._frames_per_node
+        tlb, mmu = context
+        llc = llcs[socket]
+        llc_access = llc.access
+        registry = process.mm.tree.registry
+        autonuma = kernel.autonuma if kernel.sysctl.autonuma_enabled else None
+        sample_mask = self.config.autonuma_sample - 1
+
+        data_cycles = 0.0
+        walk_cycles = 0.0
+        walks = 0
+        walk_refs = 0
+        walk_llc_hits = 0
+        faults = 0
+        fault_cycles = 0.0
+
+        for i, va in enumerate(vas):
+            is_write = writes[i]
+            translation = tlb.lookup(va)
+            if translation is None:
+                walks += 1
+                start = mmu.lookup(va)
+                result = walker.walk(va, socket, is_write, start=start)
+                if result.faulted:
+                    fr = kernel.fault_handler.handle(
+                        process,
+                        va,
+                        socket,
+                        is_write=is_write,
+                        allow_huge=kernel.sysctl.thp_enabled,
+                    )
+                    faults += 1
+                    fault_cycles += fr.work.cycles() + fr.io_cycles
+                    result = walker.walk(va, socket, is_write)
+                    assert result.translation is not None
+                leaf_access = result.accesses[-1]
+                for access in result.accesses:
+                    walk_refs += 1
+                    hit = llc_access(access.line_addr)
+                    if hit and access is leaf_access and pollution_rolls[i]:
+                        # Data traffic evicted this leaf PTE line since the
+                        # last walk that used it (shared-LLC contention).
+                        hit = False
+                    if hit:
+                        walk_llc_hits += 1
+                        walk_cycles += walk_llc_hit_cost
+                    else:
+                        walk_cycles += walk_cost[access.node]
+                    if access.level > 1:
+                        mmu.insert(va, registry[access.pfn])
+                translation = result.translation
+                tlb.insert(va, translation)
+            if hit_rolls[i]:
+                data_cycles += llc_hit_cost
+            else:
+                data_cycles += data_cost[translation.pfn // frames_per_node]
+            if autonuma is not None and (i & sample_mask) == 0:
+                autonuma.record_access(process, va, socket)
+
+        out.accesses += len(vas)
+        out.data_cycles += data_cycles
+        out.walk_cycles += walk_cycles
+        out.fault_cycles += fault_cycles
+        out.tlb_walks += walks
+        out.tlb_lookups += len(vas)
+        out.faults += faults
+        out.walk_memory_refs += walk_refs
+        out.walk_llc_hits += walk_llc_hits

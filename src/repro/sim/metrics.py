@@ -1,0 +1,84 @@
+"""Perf-counter style measurement results.
+
+The paper measures execution cycles and "TLB load and store miss walk
+cycles (the cycles that the page walker is active for)" with perf (§3.2).
+The simulator produces the same two first-class numbers per thread — total
+cycles and walk cycles — plus the supporting counters (TLB misses, faults,
+LLC behaviour) every figure needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ThreadMetrics:
+    """Counters for one simulated thread."""
+
+    thread: int
+    socket: int
+    accesses: int = 0
+    data_cycles: float = 0.0
+    walk_cycles: float = 0.0
+    fault_cycles: float = 0.0
+    tlb_walks: int = 0
+    tlb_lookups: int = 0
+    faults: int = 0
+    walk_memory_refs: int = 0
+    walk_llc_hits: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        return self.data_cycles + self.walk_cycles + self.fault_cycles
+
+    @property
+    def walk_cycle_fraction(self) -> float:
+        total = self.total_cycles
+        return self.walk_cycles / total if total else 0.0
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        return self.tlb_walks / self.tlb_lookups if self.tlb_lookups else 0.0
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated result of one simulated run."""
+
+    threads: list[ThreadMetrics] = field(default_factory=list)
+    #: Setup work (population faults, replica creation...) — reported but
+    #: excluded from runtime, as the paper excludes initialisation (§8.1).
+    init_cycles: float = 0.0
+    #: Kernel background work during the run (AutoNUMA copies, shootdowns).
+    overhead_cycles: float = 0.0
+
+    @property
+    def runtime_cycles(self) -> float:
+        """Wall-clock proxy: slowest thread (threads run concurrently),
+        plus serialised kernel overhead."""
+        slowest = max((t.total_cycles for t in self.threads), default=0.0)
+        return slowest + self.overhead_cycles
+
+    @property
+    def total_thread_cycles(self) -> float:
+        return sum(t.total_cycles for t in self.threads)
+
+    @property
+    def walk_cycles(self) -> float:
+        return sum(t.walk_cycles for t in self.threads)
+
+    @property
+    def walk_cycle_fraction(self) -> float:
+        total = self.total_thread_cycles
+        return self.walk_cycles / total if total else 0.0
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        lookups = sum(t.tlb_lookups for t in self.threads)
+        walks = sum(t.tlb_walks for t in self.threads)
+        return walks / lookups if lookups else 0.0
+
+    @property
+    def accesses(self) -> int:
+        return sum(t.accesses for t in self.threads)

@@ -1,0 +1,70 @@
+"""Result post-processing shared by benches and examples.
+
+The paper reports *normalised runtime*: every bar divided by its figure's
+baseline (4 KiB F for Fig. 9, 4 KiB LP-LD for Figs. 6/10). These helpers do
+that bookkeeping and render ASCII versions of the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.scenario import ScenarioResult
+
+
+@dataclass(frozen=True)
+class Bar:
+    """One normalised bar of a figure."""
+
+    workload: str
+    config: str
+    normalized_runtime: float
+    walk_fraction: float
+    speedup_vs_pair: float | None = None
+
+    def render(self) -> str:
+        speedup = f"  ({self.speedup_vs_pair:.2f}x)" if self.speedup_vs_pair else ""
+        return (
+            f"{self.workload:>10} {self.config:>10}: "
+            f"{self.normalized_runtime:5.2f}  [walk {self.walk_fraction:5.1%}]{speedup}"
+        )
+
+
+def normalize(
+    results: dict[str, ScenarioResult],
+    baseline: str,
+    pairs: dict[str, str] | None = None,
+) -> list[Bar]:
+    """Turn raw results into normalised bars.
+
+    Args:
+        results: config name -> result, all for one workload.
+        baseline: Config whose runtime becomes 1.0.
+        pairs: Mitosis config -> non-Mitosis config; annotated with the
+            paper's "number on top of the bar" speedup.
+    """
+    base = results[baseline].runtime_cycles
+    bars = []
+    for config, result in results.items():
+        speedup = None
+        if pairs and config in pairs:
+            speedup = results[pairs[config]].runtime_cycles / result.runtime_cycles
+        bars.append(
+            Bar(
+                workload=result.workload,
+                config=config,
+                normalized_runtime=result.runtime_cycles / base,
+                walk_fraction=result.walk_cycle_fraction,
+                speedup_vs_pair=speedup,
+            )
+        )
+    return bars
+
+
+def render_figure(title: str, bars_by_workload: dict[str, list[Bar]]) -> str:
+    """ASCII rendering of one paper figure."""
+    lines = [title, "=" * len(title)]
+    for workload, bars in bars_by_workload.items():
+        lines.append(f"-- {workload} --")
+        lines.extend(bar.render() for bar in bars)
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Translation caching hardware: TLBs, paging-structure caches, shootdowns."""
+
+from repro.tlb.mmu_cache import MmuCacheConfig, MmuCaches, MmuCacheStats
+from repro.tlb.shootdown import IPI_CYCLES, ShootdownStats, TlbShootdown
+from repro.tlb.tlb import HierarchyStats, Tlb, TlbConfig, TlbHierarchy, TlbStats
+
+__all__ = [
+    "HierarchyStats",
+    "IPI_CYCLES",
+    "MmuCacheConfig",
+    "MmuCacheStats",
+    "MmuCaches",
+    "ShootdownStats",
+    "Tlb",
+    "TlbConfig",
+    "TlbHierarchy",
+    "TlbShootdown",
+    "TlbStats",
+]

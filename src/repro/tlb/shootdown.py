@@ -1,0 +1,54 @@
+"""TLB shootdowns.
+
+When the OS changes a mapping, stale translations may be cached on any core
+running the process; Linux sends IPIs and every core flushes (§7.5). The
+simulator models the flush itself plus a fixed per-IPI cycle cost so
+shootdown-heavy operations (mprotect/munmap) carry their real overhead in
+the Table 5 micro-benchmarks — identically with and without Mitosis, as in
+the paper's design (replication changes PTE-write cost, not coherence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tlb.mmu_cache import MmuCaches
+from repro.tlb.tlb import TlbHierarchy
+
+#: Rough cost of delivering and handling one shootdown IPI.
+IPI_CYCLES = 2000.0
+
+
+@dataclass
+class ShootdownStats:
+    shootdowns: int = 0
+    ipis: int = 0
+    cycles: float = 0.0
+
+
+@dataclass
+class TlbShootdown:
+    """Broadcast invalidations to a set of (tlb, mmu-cache) core contexts."""
+
+    stats: ShootdownStats = field(default_factory=ShootdownStats)
+
+    def flush_all(self, cores: list[tuple[TlbHierarchy, MmuCaches]]) -> float:
+        """Global flush on every core context; returns cycles charged."""
+        for tlb, mmu in cores:
+            tlb.flush()
+            mmu.flush()
+        return self._charge(len(cores))
+
+    def flush_page(self, cores: list[tuple[TlbHierarchy, MmuCaches]], va: int) -> float:
+        """Single-page invalidation on every core context."""
+        for tlb, mmu in cores:
+            tlb.invalidate_page(va)
+            mmu.flush()  # PSC has no per-page invalidate; Linux flushes it
+        return self._charge(len(cores))
+
+    def _charge(self, n_cores: int) -> float:
+        self.stats.shootdowns += 1
+        self.stats.ipis += max(0, n_cores - 1)
+        cycles = IPI_CYCLES * max(1, n_cores)
+        self.stats.cycles += cycles
+        return cycles

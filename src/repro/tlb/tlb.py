@@ -1,0 +1,187 @@
+"""Set-associative TLBs.
+
+The paper's testbed has a per-core two-level TLB: a small split L1 (64
+4 KiB entries + 32 2 MiB entries on Haswell) and a 1024-entry unified L2.
+TLB *reach* versus workload footprint decides the miss rate, and the miss
+rate decides how often the NUMA placement of page-tables matters — so the
+geometry is faithfully configurable while the replacement policy is plain
+LRU per set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.paging.levels import HUGE_LEAF_LEVEL
+from repro.paging.pagetable import Translation
+from repro.units import HUGE_PAGE_SHIFT, PAGE_SHIFT
+
+
+@dataclass
+class TlbStats:
+    """Hit/miss counters for one TLB structure."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Tlb:
+    """One set-associative translation buffer for a single page size."""
+
+    def __init__(self, entries: int, ways: int, page_shift: int, name: str = "tlb"):
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ValueError(f"{name}: entries ({entries}) must be a positive multiple of ways")
+        self.name = name
+        self.entries = entries
+        self.ways = ways
+        self.page_shift = page_shift
+        self.n_sets = entries // ways
+        self._sets: list[OrderedDict[int, Translation]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.stats = TlbStats()
+
+    def _set_for(self, vpn: int) -> OrderedDict[int, Translation]:
+        return self._sets[vpn % self.n_sets]
+
+    def lookup(self, va: int) -> Translation | None:
+        """Probe for ``va``; LRU-promotes and counts on hit."""
+        vpn = va >> self.page_shift
+        entry_set = self._set_for(vpn)
+        hit = entry_set.get(vpn)
+        if hit is not None:
+            entry_set.move_to_end(vpn)
+            self.stats.hits += 1
+            return hit
+        self.stats.misses += 1
+        return None
+
+    def insert(self, va: int, translation: Translation) -> None:
+        """Fill ``va``'s entry, evicting the set's LRU victim if full."""
+        vpn = va >> self.page_shift
+        entry_set = self._set_for(vpn)
+        if vpn in entry_set:
+            entry_set.move_to_end(vpn)
+            entry_set[vpn] = translation
+            return
+        if len(entry_set) >= self.ways:
+            entry_set.popitem(last=False)
+        entry_set[vpn] = translation
+
+    def invalidate(self, va: int) -> None:
+        vpn = va >> self.page_shift
+        self._set_for(vpn).pop(vpn, None)
+
+    def flush(self) -> None:
+        for entry_set in self._sets:
+            entry_set.clear()
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def reach_bytes(self) -> int:
+        """Memory covered when fully populated."""
+        return self.entries << self.page_shift
+
+
+@dataclass
+class TlbConfig:
+    """Geometry of one core's TLB hierarchy.
+
+    4 KiB structures default to the paper hardware's published sizes
+    (64-entry L1 + 1024-entry L2). The 2 MiB structures are *scaled down*
+    (8 + 16 entries instead of Haswell's 32 + shared-1024): at paper scale
+    even the huge-page TLB covers well under 1% of the footprint ("the TLB
+    reach is still less than 1%, assuming 1TB of main memory for any page
+    size", §7.3), and with MiB-scale simulated footprints only a small
+    huge-page TLB preserves that miss regime. Pass explicit values to model
+    other hardware.
+    """
+
+    l1_entries: int = 64
+    l1_ways: int = 4
+    l1_huge_entries: int = 8
+    l1_huge_ways: int = 4
+    l2_entries: int = 1024
+    l2_ways: int = 8
+    l2_huge_entries: int = 16
+    l2_huge_ways: int = 4
+
+
+@dataclass
+class HierarchyStats:
+    l1: TlbStats = field(default_factory=TlbStats)
+    l2: TlbStats = field(default_factory=TlbStats)
+    #: Misses that went all the way to the page-walker.
+    walks: int = 0
+
+
+class TlbHierarchy:
+    """One core's two-level TLB (split-L1 + unified L2)."""
+
+    def __init__(self, config: TlbConfig | None = None):
+        config = config or TlbConfig()
+        self.config = config
+        self.l1_4k = Tlb(config.l1_entries, config.l1_ways, PAGE_SHIFT, "l1-4k")
+        self.l1_2m = Tlb(config.l1_huge_entries, config.l1_huge_ways, HUGE_PAGE_SHIFT, "l1-2m")
+        self.l2_4k = Tlb(config.l2_entries, config.l2_ways, PAGE_SHIFT, "l2-4k")
+        self.l2_2m = Tlb(config.l2_huge_entries, config.l2_huge_ways, HUGE_PAGE_SHIFT, "l2-2m")
+        self.totals = HierarchyStats()
+
+    def lookup(self, va: int) -> Translation | None:
+        """Probe L1 then L2 (both page sizes); fills L1 on an L2 hit."""
+        hit = self.l1_4k.lookup(va)
+        if hit is None:
+            hit = self.l1_2m.lookup(va)
+        if hit is not None:
+            self.totals.l1.hits += 1
+            return hit
+        self.totals.l1.misses += 1
+        hit = self.l2_4k.lookup(va)
+        if hit is None:
+            hit = self.l2_2m.lookup(va)
+        if hit is not None:
+            self.totals.l2.hits += 1
+            self._fill_l1(va, hit)
+            return hit
+        self.totals.l2.misses += 1
+        self.totals.walks += 1
+        return None
+
+    def insert(self, va: int, translation: Translation) -> None:
+        """Fill after a successful walk (both levels, size-appropriate)."""
+        self._fill_l1(va, translation)
+        if translation.level == HUGE_LEAF_LEVEL:
+            self.l2_2m.insert(va, translation)
+        else:
+            self.l2_4k.insert(va, translation)
+
+    def _fill_l1(self, va: int, translation: Translation) -> None:
+        if translation.level == HUGE_LEAF_LEVEL:
+            self.l1_2m.insert(va, translation)
+        else:
+            self.l1_4k.insert(va, translation)
+
+    def invalidate_page(self, va: int) -> None:
+        for tlb in (self.l1_4k, self.l1_2m, self.l2_4k, self.l2_2m):
+            tlb.invalidate(va)
+
+    def flush(self) -> None:
+        for tlb in (self.l1_4k, self.l1_2m, self.l2_4k, self.l2_2m):
+            tlb.flush()
+
+    @property
+    def miss_rate(self) -> float:
+        """End-to-end miss rate (walks / lookups)."""
+        lookups = self.totals.l1.accesses
+        return self.totals.walks / lookups if lookups else 0.0

@@ -1,0 +1,95 @@
+"""Size, time and paging constants shared across the simulator.
+
+Everything in the simulator is expressed in three base units:
+
+* **bytes** for sizes (helpers below convert from KiB/MiB/GiB/TiB),
+* **cycles** for time (the paper reports latencies in CPU cycles at 2.2 GHz),
+* **frames / pages** for memory management (4 KiB base page).
+"""
+
+from __future__ import annotations
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+TIB: int = 1024 * GIB
+
+#: Base page size on x86-64.
+PAGE_SIZE: int = 4 * KIB
+#: Large ("huge") page size for 2 MiB THP mappings.
+HUGE_PAGE_SIZE: int = 2 * MIB
+#: Number of base pages backing one huge page.
+PAGES_PER_HUGE_PAGE: int = HUGE_PAGE_SIZE // PAGE_SIZE
+
+#: Bytes moved per memory transaction.
+CACHE_LINE_SIZE: int = 64
+#: 8-byte PTEs -> 8 entries per cache line.
+PTES_PER_CACHE_LINE: int = CACHE_LINE_SIZE // 8
+
+#: Entries in one page-table page (512 x 8 bytes = 4 KiB).
+PTES_PER_TABLE: int = 512
+#: Bits of virtual address consumed per radix level.
+BITS_PER_LEVEL: int = 9
+#: log2(PAGE_SIZE)
+PAGE_SHIFT: int = 12
+HUGE_PAGE_SHIFT: int = 21
+
+
+def kib(n: float) -> int:
+    """Return ``n`` KiB in bytes."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """Return ``n`` MiB in bytes."""
+    return int(n * MIB)
+
+
+def gib(n: float) -> int:
+    """Return ``n`` GiB in bytes."""
+    return int(n * GIB)
+
+
+def tib(n: float) -> int:
+    """Return ``n`` TiB in bytes."""
+    return int(n * TIB)
+
+
+def pages(nbytes: int) -> int:
+    """Number of 4 KiB pages needed to hold ``nbytes`` (rounded up)."""
+    return -(-nbytes // PAGE_SIZE)
+
+
+def huge_pages(nbytes: int) -> int:
+    """Number of 2 MiB pages needed to hold ``nbytes`` (rounded up)."""
+    return -(-nbytes // HUGE_PAGE_SIZE)
+
+
+def page_align_down(addr: int) -> int:
+    """Round ``addr`` down to a 4 KiB boundary."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_align_up(addr: int) -> int:
+    """Round ``addr`` up to a 4 KiB boundary."""
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def huge_align_down(addr: int) -> int:
+    """Round ``addr`` down to a 2 MiB boundary."""
+    return addr & ~(HUGE_PAGE_SIZE - 1)
+
+
+def huge_align_up(addr: int) -> int:
+    """Round ``addr`` up to a 2 MiB boundary."""
+    return (addr + HUGE_PAGE_SIZE - 1) & ~(HUGE_PAGE_SIZE - 1)
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable size string, e.g. ``fmt_bytes(2 * GIB) == '2.00 GiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

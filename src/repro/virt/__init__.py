@@ -1,0 +1,22 @@
+"""Virtualized systems (§7.4): nested paging, 2D walks, and Mitosis for
+guest and nested page-tables independently."""
+
+from repro.virt.engine import VirtEngineConfig, VirtSimulator, VirtThreadMetrics
+from repro.virt.mitosis_virt import replicate_both, replicate_guest, replicate_nested
+from repro.virt.nested import NestedAccess, NestedTlb, NestedWalkResult, TwoDimWalker
+from repro.virt.vm import VNumaPolicy, VirtualMachine
+
+__all__ = [
+    "NestedAccess",
+    "NestedTlb",
+    "NestedWalkResult",
+    "TwoDimWalker",
+    "VNumaPolicy",
+    "VirtEngineConfig",
+    "VirtSimulator",
+    "VirtThreadMetrics",
+    "VirtualMachine",
+    "replicate_both",
+    "replicate_guest",
+    "replicate_nested",
+]

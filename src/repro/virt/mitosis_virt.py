@@ -1,0 +1,55 @@
+"""Mitosis for virtualized systems (§7.4): replicate gPT and nPT
+independently.
+
+* **Nested level** — the nPT is a host-side tree; replicating it puts a
+  copy of the gPA->hPA mapping on each host socket, so the nested portions
+  of 2D walks become local. This needs no guest cooperation at all.
+* **Guest level** — the gPT lives in *guest* memory; replicating it on
+  each *virtual* node only makes walks local if each virtual node's memory
+  is actually backed by the corresponding host socket, i.e. the hypervisor
+  exposes vNUMA — the deployment caveat the paper closes §7.4 with.
+
+Both directions reuse the exact replication machinery from
+:mod:`repro.mitosis.replication`, because both levels are ordinary
+:class:`~repro.paging.pagetable.PageTableTree` objects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReplicationError
+from repro.mitosis.replication import enable_replication, replica_sockets
+from repro.virt.vm import VirtualMachine
+
+
+def replicate_nested(vm: VirtualMachine, mask: frozenset[int] | None = None) -> frozenset[int]:
+    """Replicate the nested page-table across host sockets.
+
+    Returns the host sockets now holding an nPT copy.
+    """
+    mask = mask or frozenset(vm.kernel.machine.node_ids())
+    enable_replication(vm.npt, vm.kernel.pagecache, mask)
+    return replica_sockets(vm.npt)
+
+
+def replicate_guest(vm: VirtualMachine, mask: frozenset[int] | None = None) -> frozenset[int]:
+    """Replicate the guest page-table across the guest's virtual nodes.
+
+    Raises:
+        ReplicationError: the hypervisor hides NUMA from this guest — with
+            a single virtual node there is nothing to replicate across,
+            which is precisely the paper's "main issue" with cloud guests.
+    """
+    if not vm.vnuma.exposed:
+        raise ReplicationError(
+            "guest-level replication needs exposed vNUMA: the guest sees one node"
+        )
+    mask = mask or frozenset(vm.guest_machine.node_ids())
+    enable_replication(vm.gpt, vm.guest_pagecache, mask)
+    return replica_sockets(vm.gpt)
+
+
+def replicate_both(vm: VirtualMachine) -> tuple[frozenset[int], frozenset[int]]:
+    """Full §7.4 Mitosis: guest and nested levels, independently."""
+    nested = replicate_nested(vm)
+    guest = replicate_guest(vm)
+    return guest, nested

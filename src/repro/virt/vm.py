@@ -1,0 +1,189 @@
+"""Virtual machines with hardware nested paging (§7.4).
+
+Virtualized memory uses two translation dimensions:
+
+* **gPT** — the guest OS's per-process page-table translating guest-virtual
+  to guest-physical (gVA -> gPA). Its pages live in *guest* physical
+  memory, so where they really are in DRAM depends on dimension two;
+* **nPT** — the hypervisor's per-VM nested page-table translating
+  guest-physical to host-physical (gPA -> hPA).
+
+Both are ordinary radix trees, so both reuse
+:class:`~repro.paging.pagetable.PageTableTree` — which means Mitosis can
+replicate either level with the *same* machinery (the extension the paper
+sketches in §7.4).
+
+A :class:`VirtualMachine` bundles: a guest "machine" (the virtual NUMA
+topology the hypervisor chooses to expose), guest physical memory, the
+guest page-table, and the nested page-table backing every guest frame with
+a host frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidMappingError
+from repro.kernel.kernel import Kernel
+from repro.kernel.policy import FirstTouchPolicy, FixedNodePolicy, InterleavePolicy
+from repro.kernel.pvops import NativePagingOps
+from repro.machine.topology import Machine
+from repro.mem.frame import Frame, FrameKind
+from repro.mem.pagecache import PageTablePageCache
+from repro.mem.physmem import PhysicalMemory
+from repro.paging.pagetable import PageTableTree
+from repro.paging.pte import PTE_PRESENT, PTE_USER, PTE_WRITABLE
+from repro.units import PAGE_SIZE
+
+GUEST_PROT = PTE_WRITABLE | PTE_USER
+NESTED_PROT = PTE_WRITABLE | PTE_USER
+
+
+@dataclass(frozen=True)
+class VNumaPolicy:
+    """How the hypervisor maps virtual nodes onto host sockets.
+
+    ``exposed=True`` gives the guest one virtual node per host socket and
+    backs each virtual node's memory on its host socket — the prerequisite
+    the paper names for guest-level Mitosis ("if the underlying NUMA
+    architecture is exposed to the guest OS"). ``exposed=False`` models the
+    common cloud setup: the guest sees a single node and the hypervisor
+    spreads backing wherever it likes.
+    """
+
+    exposed: bool = True
+
+
+class VirtualMachine:
+    """One VM: guest physical memory + gPT + nPT."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        guest_memory: int,
+        vnuma: VNumaPolicy | None = None,
+        npt_node: int | None = None,
+    ):
+        """Create a VM and back all of its memory eagerly.
+
+        Args:
+            kernel: The host kernel supplying frames and page-caches.
+            guest_memory: Guest physical memory size (multiple of 4 KiB
+                per virtual node).
+            vnuma: Virtual-NUMA exposure policy (defaults to exposed).
+            npt_node: Force nested-page-table pages onto one host socket
+                (the experiments' remote-nPT configurations); ``None`` uses
+                first-touch on the creating socket.
+        """
+        self.kernel = kernel
+        self.vnuma = vnuma or VNumaPolicy()
+        host_sockets = kernel.machine.n_sockets
+        n_vnodes = host_sockets if self.vnuma.exposed else 1
+        if guest_memory % (PAGE_SIZE * n_vnodes):
+            raise InvalidMappingError("guest memory must divide evenly across virtual nodes")
+
+        #: The topology the guest believes it runs on.
+        self.guest_machine = Machine.homogeneous(
+            n_vnodes, cores_per_socket=1, memory_per_socket=guest_memory // n_vnodes,
+            name="guest",
+        )
+        self.guest_physmem = PhysicalMemory(self.guest_machine)
+        self.guest_pagecache = PageTablePageCache(self.guest_physmem)
+
+        # Nested page-table (host-side tree over the gPA space).
+        npt_policy = FixedNodePolicy(npt_node) if npt_node is not None else FirstTouchPolicy()
+        self._npt_ops = NativePagingOps(kernel.pagecache, pt_policy=npt_policy)
+        self.npt = PageTableTree(self._npt_ops, node_hint=npt_node or 0)
+
+        # Guest page-table (guest-side tree; its frames are guest frames).
+        self._gpt_ops = NativePagingOps(self.guest_pagecache)
+        self.gpt = PageTableTree(self._gpt_ops, node_hint=0)
+
+        #: gfn -> host Frame backing it.
+        self.backing: dict[int, Frame] = {}
+        self._back_all_guest_memory()
+
+    # -- backing (gPA -> hPA) --------------------------------------------------
+
+    def vnode_to_host(self, vnode: int) -> int:
+        """Host socket backing a virtual node's memory."""
+        self.guest_machine.validate_node(vnode)
+        return vnode if self.vnuma.exposed else 0
+
+    def host_socket_to_vnode(self, socket: int) -> int:
+        """The virtual node a vCPU pinned on ``socket`` belongs to."""
+        return socket if self.vnuma.exposed else 0
+
+    def _back_all_guest_memory(self) -> None:
+        """Eagerly back every guest frame (reserved-memory VM).
+
+        Exposed vNUMA backs each virtual node on its host socket; hidden
+        vNUMA interleaves across host sockets (what a NUMA-oblivious
+        hypervisor's allocator ends up doing at scale).
+        """
+        spread = InterleavePolicy(self.kernel.machine.node_ids())
+        total_gfns = self.guest_machine.total_memory // PAGE_SIZE
+        for gfn in range(total_gfns):
+            vnode = self.guest_physmem.node_of_pfn(gfn)
+            if self.vnuma.exposed:
+                host_node = self.vnode_to_host(vnode)
+            else:
+                host_node = spread.choose_node(0)
+            frame = self.kernel.physmem.alloc_frame(host_node, kind=FrameKind.DATA)
+            self.backing[gfn] = frame
+            self.npt.map_page(
+                gfn * PAGE_SIZE,
+                frame.pfn,
+                NESTED_PROT,
+                node_hint=host_node,
+            )
+
+    def host_frame_of(self, gfn: int) -> Frame:
+        """The host frame backing guest frame ``gfn``."""
+        try:
+            return self.backing[gfn]
+        except KeyError:
+            raise InvalidMappingError(f"gfn {gfn} is not backed") from None
+
+    def host_node_of_gfn(self, gfn: int) -> int:
+        return self.host_frame_of(gfn).node
+
+    # -- guest mappings ----------------------------------------------------------
+
+    def guest_map(self, gva: int, vnode: int) -> int:
+        """Map one guest page at ``gva``, data first-touched on ``vnode``.
+
+        Returns the gfn chosen. Guest page-table pages are first-touch on
+        the faulting virtual node, exactly like the host kernel's.
+        """
+        frame = self.guest_physmem.alloc_frame(vnode, kind=FrameKind.DATA)
+        self.gpt.map_page(gva, frame.pfn, GUEST_PROT, node_hint=vnode)
+        return frame.pfn
+
+    def guest_populate(self, gva_base: int, length: int, vnode: int | None = None) -> None:
+        """Back ``[gva_base, gva_base+length)`` with guest pages.
+
+        With exposed vNUMA and ``vnode=None`` the range is partitioned
+        across virtual nodes (parallel first-touch); otherwise everything
+        lands on the given (or only) node.
+        """
+        if length % PAGE_SIZE:
+            raise InvalidMappingError("length must be page aligned")
+        n_pages = length // PAGE_SIZE
+        n_vnodes = self.guest_machine.n_sockets
+        for i in range(n_pages):
+            if vnode is not None:
+                node = vnode
+            else:
+                node = (i * n_vnodes) // n_pages if n_vnodes > 1 else 0
+            self.guest_map(gva_base + i * PAGE_SIZE, node)
+
+    def guest_translate(self, gva: int) -> int | None:
+        """Software gVA -> hPA translation (no TLBs), or None on fault."""
+        guest = self.gpt.translate(gva)
+        if guest is None or not guest.flags & PTE_PRESENT:
+            return None
+        host = self.npt.translate(guest.pfn * PAGE_SIZE)
+        if host is None:
+            return None
+        return (host.pfn * PAGE_SIZE) | (gva & (PAGE_SIZE - 1))

@@ -1,0 +1,40 @@
+"""Synthetic big-memory workloads (the paper's Table 1)."""
+
+from repro.workloads.base import Workload, WorkloadProfile
+from repro.workloads.btree import BTree
+from repro.workloads.canneal import Canneal
+from repro.workloads.graph500 import Graph500
+from repro.workloads.gups import Gups
+from repro.workloads.hashjoin import HashJoin
+from repro.workloads.liblinear import LibLinear
+from repro.workloads.memcached import Memcached
+from repro.workloads.pagerank import PageRank
+from repro.workloads.redis import Redis
+from repro.workloads.registry import (
+    MIGRATION_WORKLOADS,
+    MULTISOCKET_WORKLOADS,
+    WORKLOADS,
+    create,
+)
+from repro.workloads.stream import Stream
+from repro.workloads.xsbench import XSBench
+
+__all__ = [
+    "BTree",
+    "Canneal",
+    "Graph500",
+    "Gups",
+    "HashJoin",
+    "LibLinear",
+    "MIGRATION_WORKLOADS",
+    "MULTISOCKET_WORKLOADS",
+    "Memcached",
+    "PageRank",
+    "Redis",
+    "Stream",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadProfile",
+    "XSBench",
+    "create",
+]

@@ -1,0 +1,43 @@
+"""BTree — index lookups over a large B-tree.
+
+"A benchmark for index lookups used in database and other large
+applications" (Table 1; 145 GB multi-socket, 35 GB migration). Lookups are
+dependent pointer chases: the top levels of the tree are hot and
+cache-resident, the leaf levels are effectively random. Low MLP (each level
+depends on the previous) makes every DRAM and page-walk latency fully
+visible — BTree shows some of the largest walk-cycle fractions in Fig. 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import GIB
+from repro.workloads.base import Workload, WorkloadProfile
+
+
+class BTree(Workload):
+    """70% uniform leaf touches, 30% hot inner-node region."""
+
+    #: Fraction of the footprint holding the (hot) inner levels.
+    HOT_REGION_FRACTION = 0.02
+    HOT_ACCESS_FRACTION = 0.3
+
+    profile = WorkloadProfile(
+        name="btree",
+        description="database index lookups",
+        mlp=1.5,
+        data_llc_hit_rate=0.35,
+        pt_llc_pressure=0.05,
+        write_fraction=0.05,
+        paper_footprint_ms=145 * GIB,
+        paper_footprint_wm=35 * GIB,
+    )
+
+    def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:
+        rng = self.rng(thread)
+        hot_pages = max(1, int(self.n_pages * self.HOT_REGION_FRACTION))
+        is_hot = rng.random(count) < self.HOT_ACCESS_FRACTION
+        uniform = self._uniform_pages(rng, count)
+        hot = rng.integers(0, hot_pages, size=count, dtype=np.int64) * 4096
+        return np.where(is_hot, hot, uniform)

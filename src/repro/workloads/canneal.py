@@ -1,0 +1,43 @@
+"""Canneal — simulated annealing for chip routing (PARSEC).
+
+"A benchmark for simulated cache-aware annealing to optimize routing cost
+of a chip design" (Table 1; 382 GB multi-socket, 32 GB migration). Each
+step picks random elements and follows their net pointers: a dependent,
+cache-hostile pointer chase with very low MLP. Canneal is the paper's
+multi-socket headline (1.34x with Mitosis, Fig. 1/Fig. 9a) and keeps a
+meaningful walk overhead even with 2 MiB pages — its data traffic also
+evicts page-table lines hard (high ``pt_llc_pressure``), which is why it
+still loses 2.35x in Fig. 10b when page-tables are remote.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import GIB, PAGE_SIZE
+from repro.workloads.base import Workload, WorkloadProfile
+
+
+class Canneal(Workload):
+    """Random element pairs plus short dependent pointer neighbourhoods."""
+
+    profile = WorkloadProfile(
+        name="canneal",
+        description="PARSEC simulated annealing (netlist swaps)",
+        mlp=1.8,
+        data_llc_hit_rate=0.30,
+        pt_llc_pressure=0.75,
+        write_fraction=0.3,
+        paper_footprint_ms=382 * GIB,
+        paper_footprint_wm=32 * GIB,
+    )
+
+    def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:
+        rng = self.rng(thread)
+        anchors = self._uniform_pages(rng, (count + 2) // 3)
+        # Each swap inspects the element and two neighbours on its net.
+        hops = rng.integers(1, 32, size=(anchors.size, 2), dtype=np.int64) * PAGE_SIZE
+        chased = np.column_stack(
+            [anchors, (anchors + hops[:, 0]) % self.footprint, (anchors + hops[:, 1]) % self.footprint]
+        ).reshape(-1)
+        return chased[:count]

@@ -1,0 +1,36 @@
+"""GUPS — Giga Updates Per Second (HPC Challenge RandomAccess).
+
+"A HPC Challenge benchmark to measure the rate of integer random updates of
+memory" (Table 1; 64 GB in the workload-migration scenario). Every access
+is an independent read-modify-write of a random 8-byte word: no locality at
+all, but near-perfect memory-level parallelism. The paper's 3.24x
+workload-migration headline number (Fig. 1, Fig. 10a) comes from GUPS, and
+its §8.2 cache analysis (leaf PTE lines re-referenced ~256k times more
+often than data lines) is why its page-table lines stay LLC-resident with
+2 MiB pages — hence ``pt_llc_pressure`` is low.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import GIB
+from repro.workloads.base import Workload, WorkloadProfile
+
+
+class Gups(Workload):
+    """Uniform random updates over the whole table."""
+
+    profile = WorkloadProfile(
+        name="gups",
+        description="HPC Challenge random-update kernel",
+        mlp=8.0,
+        data_llc_hit_rate=0.02,
+        pt_llc_pressure=0.0,
+        write_fraction=1.0,
+        serial_init=False,
+        paper_footprint_wm=64 * GIB,
+    )
+
+    def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:
+        return self._uniform_pages(self.rng(thread), count)

@@ -1,0 +1,41 @@
+"""HashJoin — hash-table probing.
+
+"A benchmark for hash-table probing used in database applications and other
+large applications" (Table 1; 480 GB multi-socket — the paper's largest —
+and 17 GB migration). Probes hash uniformly over a huge table; software
+pipelining gives moderate MLP, and bucket chains add a short dependent tail
+per probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import GIB, PAGE_SIZE
+from repro.workloads.base import Workload, WorkloadProfile
+
+
+class HashJoin(Workload):
+    """Uniform bucket probes with a one-in-four chained second touch."""
+
+    CHAIN_FRACTION = 0.25
+
+    profile = WorkloadProfile(
+        name="hashjoin",
+        description="hash-table probing (database joins)",
+        mlp=4.0,
+        data_llc_hit_rate=0.10,
+        pt_llc_pressure=0.02,
+        write_fraction=0.3,
+        paper_footprint_ms=480 * GIB,
+        paper_footprint_wm=17 * GIB,
+    )
+
+    def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:
+        rng = self.rng(thread)
+        probes = self._uniform_pages(rng, count)
+        # A chained probe lands near its bucket (next page), keeping a hint
+        # of spatial structure without real locality.
+        chain = rng.random(count) < self.CHAIN_FRACTION
+        probes[chain] = (probes[chain] + PAGE_SIZE) % self.footprint
+        return probes

@@ -1,0 +1,41 @@
+"""LibLinear — large-scale linear classification.
+
+"A linear classifier for data with millions of instances and features"
+(Table 1; 67 GB migration scenario). Training sweeps sequentially over the
+sample matrix with random touches into the (smaller) weight vector: mostly
+streaming, high MLP, decent cache behaviour — the mildest of the paper's
+migration workloads (1.42x in Fig. 10a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import CACHE_LINE_SIZE, GIB, PAGE_SIZE
+from repro.workloads.base import Workload, WorkloadProfile
+
+
+class LibLinear(Workload):
+    """Sequential sample sweep with 20% random weight-vector touches."""
+
+    WEIGHT_REGION_FRACTION = 0.05
+    WEIGHT_ACCESS_FRACTION = 0.2
+
+    profile = WorkloadProfile(
+        name="liblinear",
+        description="linear classifier training sweep",
+        mlp=8.0,
+        data_llc_hit_rate=0.5,
+        pt_llc_pressure=0.25,
+        write_fraction=0.1,
+        serial_init=True,
+        paper_footprint_wm=67 * GIB,
+    )
+
+    def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:
+        rng = self.rng(thread)
+        seq = (np.arange(count, dtype=np.int64) * CACHE_LINE_SIZE * 2) % self.footprint
+        weight_pages = max(1, int(self.n_pages * self.WEIGHT_REGION_FRACTION))
+        touch_weights = rng.random(count) < self.WEIGHT_ACCESS_FRACTION
+        weights = rng.integers(0, weight_pages, size=count, dtype=np.int64) * PAGE_SIZE
+        return np.where(touch_weights, weights, seq)

@@ -1,0 +1,33 @@
+"""Memcached — distributed in-memory object cache.
+
+"A commercial distributed in-memory object caching system" (Table 1;
+350 GB multi-socket). Key popularity is Zipf-skewed, but with hundreds of
+gigabytes of values the tail dominates TLB behaviour. Memcached provides
+the paper's Fig. 3 page-table dump.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import GIB
+from repro.workloads.base import Workload, WorkloadProfile
+
+
+class Memcached(Workload):
+    """Zipf-skewed GET/SET over the slab arena."""
+
+    ZIPF_S = 0.9
+
+    profile = WorkloadProfile(
+        name="memcached",
+        description="in-memory object cache (zipf keys)",
+        mlp=3.0,
+        data_llc_hit_rate=0.30,
+        pt_llc_pressure=0.25,
+        write_fraction=0.1,
+        paper_footprint_ms=350 * GIB,
+    )
+
+    def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:
+        return self._zipf_pages(self.rng(thread), count, self.ZIPF_S)

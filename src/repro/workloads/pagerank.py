@@ -1,0 +1,41 @@
+"""PageRank — rank propagation over a web graph (GAP benchmark suite).
+
+"A benchmark for page rank used to rank pages in search engines" (Table 1;
+69 GB migration scenario). The push/pull kernels stream sequentially over
+edge arrays while scattering/gathering into random destination vertices —
+a half-streaming, half-random mix with good MLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import CACHE_LINE_SIZE, GIB
+from repro.workloads.base import Workload, WorkloadProfile
+
+
+class PageRank(Workload):
+    """Alternating sequential edge-list lines and random vertex pages."""
+
+    profile = WorkloadProfile(
+        name="pagerank",
+        description="GAP PageRank (stream edges, scatter vertices)",
+        mlp=6.0,
+        data_llc_hit_rate=0.25,
+        pt_llc_pressure=0.03,
+        write_fraction=0.25,
+        paper_footprint_wm=69 * GIB,
+    )
+
+    def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:
+        rng = self.rng(thread)
+        half = (count + 1) // 2
+        # Edge list: sequential cache-line stride through this thread's slice.
+        start, end = self.init_partition(thread, n_threads)
+        if end <= start:
+            start, end = 0, self.footprint
+        span = end - start
+        seq = start + (np.arange(half, dtype=np.int64) * CACHE_LINE_SIZE * 4) % span
+        # Vertex gather: uniform random pages.
+        rand = self._uniform_pages(rng, half)
+        return np.column_stack([seq, rand[:half]]).reshape(-1)[:count]

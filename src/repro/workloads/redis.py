@@ -1,0 +1,38 @@
+"""Redis — in-memory key-value store.
+
+"A commercial in-memory key-value store" (Table 1; 75 GB migration
+scenario; also one of the two Table 6 end-to-end overhead workloads).
+Single-threaded in the paper's migration runs: skewed key popularity, a
+dict with pointer-chased entries, and enough data reuse to fight
+page-table lines for LLC space (its 1.70x Fig. 10b slowdown with 2 MiB
+pages, where GUPS shows none, comes from that pressure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import GIB, PAGE_SIZE
+from repro.workloads.base import Workload, WorkloadProfile
+
+
+class Redis(Workload):
+    """Zipf keys, each op touching the dict entry then the value."""
+
+    ZIPF_S = 0.8
+
+    profile = WorkloadProfile(
+        name="redis",
+        description="in-memory key-value store (zipf keys)",
+        mlp=2.0,
+        data_llc_hit_rate=0.30,
+        pt_llc_pressure=0.55,
+        write_fraction=0.2,
+        paper_footprint_wm=75 * GIB,
+    )
+
+    def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:
+        rng = self.rng(thread)
+        keys = self._zipf_pages(rng, (count + 1) // 2, self.ZIPF_S)
+        values = (keys + rng.integers(1, 64, size=keys.size, dtype=np.int64) * PAGE_SIZE) % self.footprint
+        return np.column_stack([keys, values]).reshape(-1)[:count]

@@ -1,0 +1,76 @@
+"""Workload registry: Table 1 as code.
+
+``MULTISOCKET_WORKLOADS`` and ``MIGRATION_WORKLOADS`` mirror the MS / WM
+columns of Table 1; :func:`create` builds a workload by name with a chosen
+(scaled) footprint.
+"""
+
+from __future__ import annotations
+
+from repro.units import MIB
+from repro.workloads.base import Workload
+from repro.workloads.btree import BTree
+from repro.workloads.canneal import Canneal
+from repro.workloads.graph500 import Graph500
+from repro.workloads.gups import Gups
+from repro.workloads.hashjoin import HashJoin
+from repro.workloads.liblinear import LibLinear
+from repro.workloads.memcached import Memcached
+from repro.workloads.pagerank import PageRank
+from repro.workloads.redis import Redis
+from repro.workloads.stream import Stream
+from repro.workloads.xsbench import XSBench
+
+WORKLOADS: dict[str, type[Workload]] = {
+    cls.profile.name: cls
+    for cls in (
+        Memcached,
+        Graph500,
+        HashJoin,
+        Canneal,
+        XSBench,
+        BTree,
+        LibLinear,
+        PageRank,
+        Gups,
+        Redis,
+        Stream,
+    )
+}
+
+#: Table 1 "MS" column: workloads run across all sockets.
+MULTISOCKET_WORKLOADS: tuple[str, ...] = (
+    "canneal",
+    "memcached",
+    "xsbench",
+    "graph500",
+    "hashjoin",
+    "btree",
+)
+
+#: Table 1 "WM" column: single-socket workloads for the migration scenario.
+MIGRATION_WORKLOADS: tuple[str, ...] = (
+    "gups",
+    "btree",
+    "hashjoin",
+    "redis",
+    "xsbench",
+    "pagerank",
+    "liblinear",
+    "canneal",
+)
+
+
+def create(name: str, footprint: int = 128 * MIB, seed: int = 1234) -> Workload:
+    """Instantiate a registered workload by name.
+
+    Raises:
+        KeyError: unknown workload name (message lists the options).
+    """
+    try:
+        cls = WORKLOADS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+    return cls(footprint=footprint, seed=seed)

@@ -1,0 +1,35 @@
+"""STREAM — sustainable memory bandwidth (McCalpin).
+
+Used two ways, as in the paper: §3.2 measures the seven migration
+configurations with STREAM running on the measured socket, and the ``I``
+(interference) configurations pin a second STREAM instance to a socket to
+hog its memory bandwidth. Pure sequential triad: maximum MLP, no reuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import CACHE_LINE_SIZE
+from repro.workloads.base import Workload, WorkloadProfile
+
+
+class Stream(Workload):
+    """Sequential triad sweep (a = b + s*c) at cache-line stride."""
+
+    profile = WorkloadProfile(
+        name="stream",
+        description="STREAM triad bandwidth sweep",
+        mlp=10.0,
+        data_llc_hit_rate=0.05,
+        pt_llc_pressure=0.02,
+        write_fraction=0.33,
+        serial_init=True,
+    )
+
+    def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:
+        start, end = self.init_partition(thread, n_threads)
+        if end <= start:
+            start, end = 0, self.footprint
+        span = max(CACHE_LINE_SIZE, end - start)
+        return start + (np.arange(count, dtype=np.int64) * CACHE_LINE_SIZE) % span

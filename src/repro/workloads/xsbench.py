@@ -1,0 +1,32 @@
+"""XSBench — Monte Carlo neutronics cross-section lookups.
+
+"A key computational kernel of the Monte Carlo neutronics application"
+(Table 1; 440 GB multi-socket, 85 GB migration). Each particle history
+performs independent random lookups into enormous nuclide grids — high
+MLP, negligible reuse, read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.units import GIB
+from repro.workloads.base import Workload, WorkloadProfile
+
+
+class XSBench(Workload):
+    """Independent uniform lookups into the cross-section grid."""
+
+    profile = WorkloadProfile(
+        name="xsbench",
+        description="Monte Carlo cross-section lookup kernel",
+        mlp=5.0,
+        data_llc_hit_rate=0.15,
+        pt_llc_pressure=0.02,
+        write_fraction=0.0,
+        paper_footprint_ms=440 * GIB,
+        paper_footprint_wm=85 * GIB,
+    )
+
+    def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:
+        return self._uniform_pages(self.rng(thread), count)

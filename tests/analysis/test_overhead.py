@@ -1,0 +1,89 @@
+"""Table 4 analytic model — asserted against the paper's published numbers,
+and cross-checked against a real tree built by the simulator."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    mem_overhead,
+    pt_pages_per_level,
+    pt_size_bytes,
+    render_table4,
+    table4,
+)
+from repro.kernel.policy import FixedNodePolicy
+from repro.kernel.pvops import NativePagingOps
+from repro.machine.topology import Machine
+from repro.mem.pagecache import PageTablePageCache
+from repro.mem.physmem import PhysicalMemory
+from repro.paging.pagetable import PageTableTree
+from repro.paging.pte import PTE_USER, PTE_WRITABLE
+from repro.units import GIB, MIB, PAGE_SIZE, TIB
+
+
+class TestPaperNumbers:
+    """Every cell of Table 4, to the paper's printed precision."""
+
+    @pytest.mark.parametrize(
+        "footprint,expected",
+        [
+            (1 * MIB, [1.0, 1.015, 1.046, 1.108, 1.231]),
+            (1 * GIB, [1.0, 1.002, 1.006, 1.014, 1.029]),
+            (1 * TIB, [1.0, 1.002, 1.006, 1.014, 1.029]),
+            (16 * TIB, [1.0, 1.002, 1.006, 1.014, 1.029]),
+        ],
+    )
+    def test_overhead_rows(self, footprint, expected):
+        got = [mem_overhead(footprint, r) for r in (1, 2, 4, 8, 16)]
+        assert [round(g, 3) for g in got] == expected
+
+    def test_pt_sizes(self):
+        assert pt_size_bytes(1 * MIB) == 16 * 1024  # the 16 KiB floor
+        assert pt_size_bytes(1 * GIB) == pytest.approx(2.01 * MIB, rel=0.005)
+        assert pt_size_bytes(1 * TIB) == pytest.approx(2.00 * GIB, rel=0.005)
+        assert pt_size_bytes(16 * TIB) == pytest.approx(32.06 * GIB, rel=0.005)
+
+    def test_four_socket_machine_overhead_is_0_6_percent(self):
+        """§8.3.1: 'our four-socket machine used just 0.6% additional
+        memory' — 4 replicas of a ~0.2% page-table."""
+        extra = mem_overhead(1 * TIB, 4) - 1.0
+        assert 0.005 < extra < 0.007
+
+    def test_sixteen_socket_overhead_is_2_9_percent(self):
+        extra = mem_overhead(1 * TIB, 16) - 1.0
+        assert 0.028 < extra < 0.030
+
+
+class TestModelInternals:
+    def test_level_counts_for_1gib(self):
+        counts = pt_pages_per_level(1 * GIB)
+        assert counts == {1: 512, 2: 1, 3: 1, 4: 1}
+
+    def test_minimum_one_table_per_level(self):
+        assert pt_pages_per_level(PAGE_SIZE) == {1: 1, 2: 1, 3: 1, 4: 1}
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pt_size_bytes(0)
+        with pytest.raises(ValueError):
+            mem_overhead(MIB, 0)
+
+    def test_render_contains_all_rows(self):
+        text = render_table4()
+        assert "1.00 MiB" in text and "16.00 TiB" in text
+        assert "1.231" in text and "1.029" in text
+        assert len(table4()) == 4
+
+
+class TestMeasuredCrossCheck:
+    def test_analytic_model_matches_live_tree(self):
+        """Build a real compact mapping and compare actual page-table pages
+        against the model — the model must be exact, not approximate."""
+        footprint = 16 * MIB
+        machine = Machine.homogeneous(1, cores_per_socket=1, memory_per_socket=64 * MIB)
+        physmem = PhysicalMemory(machine)
+        tree = PageTableTree(
+            NativePagingOps(PageTablePageCache(physmem), pt_policy=FixedNodePolicy(0))
+        )
+        for i in range(footprint // PAGE_SIZE):
+            tree.map_page(i * PAGE_SIZE, physmem.alloc_frame(0).pfn, PTE_WRITABLE | PTE_USER)
+        assert tree.table_count() * PAGE_SIZE == pt_size_bytes(footprint)

@@ -1,0 +1,50 @@
+"""Analysis rendering: Fig. 3 snapshot, Fig. 4 distributions, tables."""
+
+from repro.analysis.leafdist import fig4_distributions, render_fig4
+from repro.analysis.ptdump import fig3_snapshot
+from repro.analysis.report import render_table
+from repro.units import MIB
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["xyz", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # fixed width
+
+    def test_floats_formatted(self):
+        text = render_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+
+class TestFig3:
+    def test_memcached_snapshot_structure(self):
+        dump = fig3_snapshot(footprint=16 * MIB)
+        text = dump.render()
+        assert "L4" in text and "L1" in text
+        # Single L4 page, like the paper's dump.
+        assert sum(dump.cell(4, s).pages for s in range(4)) == 1
+        # Leaf PTE count covers the whole footprint.
+        assert sum(dump.leaf_pointer_distribution()) == (16 * MIB) // 4096
+
+
+class TestFig4:
+    def test_distributions_for_all_ms_workloads(self):
+        dists = fig4_distributions(workloads=("canneal", "graph500"), footprint=16 * MIB)
+        assert len(dists) == 2
+        by_name = {d.workload: d for d in dists}
+        # Graph500's serial init: socket 0 local, everyone else 100% remote.
+        g500 = by_name["graph500"].remote_fraction
+        assert g500[0] == 0.0 and g500[1] == 1.0
+        # Canneal's parallel init: everyone sees most leaf PTEs remote.
+        canneal = by_name["canneal"].remote_fraction
+        assert all(0.4 < v < 0.95 for v in canneal.values())
+
+    def test_render(self):
+        dists = fig4_distributions(workloads=("canneal",), footprint=16 * MIB)
+        text = render_fig4(dists)
+        assert "canneal" in text
+        assert "socket 3" in text

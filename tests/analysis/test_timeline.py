@@ -1,0 +1,74 @@
+"""Placement timelines: §3.1 observation 4 as a measurable invariant."""
+
+import pytest
+
+from repro.analysis.timeline import PlacementTimeline
+from repro.sim.engine import EngineConfig, Simulator
+from repro.sim.scenario import setup_multisocket
+from repro.units import MIB
+
+
+@pytest.fixture
+def autonuma_run():
+    setup = setup_multisocket("graph500", "F-A", footprint=16 * MIB)
+    timeline = PlacementTimeline(kernel=setup.kernel, process=setup.process)
+    timeline.snapshot(-1)  # initial placement
+    config = EngineConfig(
+        accesses_per_thread=4000, autonuma_epochs=4, epoch_callback=timeline.callback()
+    )
+    sockets = [t.socket for t in setup.process.threads]
+    Simulator(setup.kernel, config).run(setup.process, setup.workload, sockets, setup.va_base)
+    timeline.snapshot(99)  # final placement
+    return setup, timeline
+
+
+class TestTimeline:
+    def test_snapshots_collected(self, autonuma_run):
+        _, timeline = autonuma_run
+        assert len(timeline.points) >= 4
+        assert timeline.points[0].epoch == -1
+
+    def test_autonuma_moves_data_pages(self, autonuma_run):
+        """Graph500's serial init puts all data on socket 0; threads on
+        sockets 1-3 hammer it, so AutoNUMA migrates data outward."""
+        _, timeline = autonuma_run
+        assert timeline.data_pages_migrated() > 0
+        first = timeline.points[0].data_distribution(4)
+        last = timeline.points[-1].data_distribution(4)
+        assert first[0] == sum(first)  # serial first-touch: all on socket 0
+        assert last[0] < first[0]  # some of it moved away
+
+    def test_pagetables_never_migrate(self, autonuma_run):
+        """The paper's observation 4, asserted over the whole stream."""
+        _, timeline = autonuma_run
+        assert timeline.pt_pages_migrated() == 0
+        first = timeline.points[0].pt_distribution(4)
+        last = timeline.points[-1].pt_distribution(4)
+        assert first == last
+
+    def test_remote_leaf_metric_tracked(self, autonuma_run):
+        _, timeline = autonuma_run
+        point = timeline.points[-1]
+        # PTs sit where graph500's generator put them: socket 0 local,
+        # everyone else fully remote — and AutoNUMA never fixes that.
+        assert point.remote_leaf[0] == 0.0
+        assert point.remote_leaf[1] == 1.0
+
+    def test_render_contains_summary(self, autonuma_run):
+        _, timeline = autonuma_run
+        text = timeline.render()
+        assert "page-table pages migrated: 0" in text
+        assert "data@s0" in text and "pt@s3" in text
+
+    def test_mitosis_replication_is_not_migration(self):
+        """Replication adds page-table pages; the movement metric must not
+        mistake growth for migration."""
+        setup = setup_multisocket("canneal", "F", footprint=16 * MIB)
+        timeline = PlacementTimeline(kernel=setup.kernel, process=setup.process)
+        timeline.snapshot(0)
+        setup.kernel.mitosis.replicate_where_running(setup.process)
+        timeline.snapshot(1)
+        assert timeline.pt_pages_migrated() == 0
+        assert sum(timeline.points[1].pt_distribution(4)) > sum(
+            timeline.points[0].pt_distribution(4)
+        )

@@ -1,0 +1,43 @@
+"""Shared fixtures: small machines and kernels sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.sysctl import MitosisMode, Sysctl
+from repro.machine.topology import Machine
+from repro.mem.physmem import PhysicalMemory
+from repro.units import MIB
+
+
+@pytest.fixture
+def machine2() -> Machine:
+    """Two sockets, 32 MiB each."""
+    return Machine.homogeneous(2, cores_per_socket=2, memory_per_socket=32 * MIB)
+
+
+@pytest.fixture
+def machine4() -> Machine:
+    """Four sockets, 32 MiB each (paper topology, test-sized)."""
+    return Machine.homogeneous(4, cores_per_socket=2, memory_per_socket=32 * MIB)
+
+
+@pytest.fixture
+def physmem2(machine2) -> PhysicalMemory:
+    return PhysicalMemory(machine2)
+
+
+@pytest.fixture
+def physmem4(machine4) -> PhysicalMemory:
+    return PhysicalMemory(machine4)
+
+
+@pytest.fixture
+def kernel2(machine2) -> Kernel:
+    return Kernel(machine2, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+
+
+@pytest.fixture
+def kernel4(machine4) -> Kernel:
+    return Kernel(machine4, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))

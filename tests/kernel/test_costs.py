@@ -1,0 +1,65 @@
+"""Cycle-cost accounting primitives (the Table 5/6 substrate)."""
+
+import pytest
+
+from repro.kernel import costs
+from repro.paging.pagetable import OpsStats
+
+
+class TestWorkCounters:
+    def test_zero_work_is_free(self):
+        assert costs.WorkCounters().cycles() == 0.0
+
+    def test_huge_zeroing_dominates(self):
+        small = costs.WorkCounters(pages_zeroed_4k=512)
+        huge = costs.WorkCounters(pages_zeroed_2m=1)
+        # Bulk zeroing one 2 MiB page is cheaper than 512 separate pages
+        # would be naively, but still the same order of magnitude.
+        assert huge.cycles() == pytest.approx(small.cycles() * 0.5)
+
+    def test_all_fields_contribute(self):
+        work = costs.WorkCounters(
+            pages_zeroed_4k=1, pages_zeroed_2m=1, pages_freed=1, pages_copied=1
+        )
+        assert work.cycles() == (
+            costs.DATA_ALLOC_ZERO_4K_CYCLES
+            + costs.DATA_ALLOC_ZERO_2M_CYCLES
+            + costs.DATA_FREE_CYCLES
+            + costs.PAGE_COPY_CYCLES
+        )
+
+
+class TestOpsCycles:
+    def test_counts_weighted(self):
+        delta = OpsStats(pte_writes=10, pte_reads=4, ring_hops=8, tables_allocated=1)
+        expected = (
+            10 * costs.PTE_WRITE_CYCLES
+            + 4 * costs.PTE_READ_CYCLES
+            + 8 * costs.RING_HOP_CYCLES
+            + costs.TABLE_ALLOC_CYCLES
+        )
+        assert costs.ops_cycles(delta) == expected
+
+    def test_syscall_includes_fixed_overhead(self):
+        base = costs.syscall_cycles(OpsStats(), costs.WorkCounters())
+        assert base == costs.SYSCALL_FIXED_CYCLES
+        with_shootdown = costs.syscall_cycles(OpsStats(), costs.WorkCounters(), 1000.0)
+        assert with_shootdown == base + 1000.0
+
+
+class TestOpsStats:
+    def test_snapshot_is_independent(self):
+        stats = OpsStats(pte_writes=5)
+        snap = stats.snapshot()
+        stats.pte_writes += 3
+        assert snap.pte_writes == 5
+
+    def test_delta(self):
+        stats = OpsStats(pte_writes=5, ring_hops=2)
+        snap = stats.snapshot()
+        stats.pte_writes += 3
+        stats.tables_allocated += 1
+        delta = stats.delta(snap)
+        assert delta.pte_writes == 3
+        assert delta.ring_hops == 0
+        assert delta.tables_allocated == 1

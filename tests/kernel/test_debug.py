@@ -1,0 +1,93 @@
+"""The consistency validator: passes on healthy state, catches corruption."""
+
+import pytest
+
+from repro.kernel.debug import ConsistencyError, validate_all, validate_mm
+from repro.paging.pte import make_pte
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def proc(kernel2):
+    process = kernel2.create_process("v", socket=0)
+    kernel2.sys_mmap(process, MIB, populate=True)
+    return process
+
+
+class TestHealthyStates:
+    def test_native_process_validates(self, kernel2, proc):
+        validate_mm(kernel2, proc)
+
+    def test_replicated_process_validates(self, kernel2, proc):
+        kernel2.mitosis.set_replication_mask(proc, frozenset({0, 1}))
+        validate_mm(kernel2, proc)
+
+    def test_after_migration(self, kernel2, proc):
+        kernel2.mitosis.migrate_process(proc, 1)
+        validate_mm(kernel2, proc)
+
+    def test_with_swap(self, kernel2, proc):
+        kernel2.swap.reclaim(proc, target_pages=4)
+        validate_mm(kernel2, proc)
+
+    def test_thp_process(self, kernel2):
+        kernel2.sysctl.thp_enabled = True
+        process = kernel2.create_process("thp", socket=0)
+        kernel2.sys_mmap(process, 4 * MIB, populate=True)
+        validate_mm(kernel2, process)
+
+    def test_data_replication_needs_relaxation(self, kernel4):
+        from repro.datarepl.manager import DataReplicationManager
+
+        process = kernel4.create_process("dr", socket=0)
+        kernel4.sys_mmap(process, MIB, populate=True)
+        kernel4.mitosis.replicate_on_all_sockets(process)
+        DataReplicationManager(kernel4).replicate_pages(process)
+        with pytest.raises(ConsistencyError):
+            validate_mm(kernel4, process)
+        validate_mm(kernel4, process, allow_divergent_leaves=True)
+
+    def test_validate_all(self, kernel2, proc):
+        kernel2.create_process("idle", socket=1)
+        validate_all(kernel2)
+
+
+class TestCorruptionDetected:
+    def test_divergent_replica_leaf(self, kernel2, proc):
+        kernel2.mitosis.set_replication_mask(proc, frozenset({0, 1}))
+        from repro.mitosis.ring import ring_members
+
+        location = proc.mm.tree.leaf_location(next(iter(proc.mm.frames)))
+        rogue = ring_members(proc.mm.tree, location.page)[1]
+        rogue.entries[location.index] = make_pte(12345, 1)
+        with pytest.raises(ConsistencyError, match="divergence"):
+            validate_mm(kernel2, proc)
+
+    def test_stale_frame_record(self, kernel2, proc):
+        va = next(iter(proc.mm.frames))
+        proc.mm.tree.unmap_page(va)  # bypassing the syscall bookkeeping
+        with pytest.raises(ConsistencyError, match="mismatch"):
+            validate_mm(kernel2, proc)
+
+    def test_corrupted_valid_count(self, kernel2, proc):
+        proc.mm.tree.root.valid_count += 1
+        with pytest.raises(ConsistencyError, match="valid_count"):
+            validate_mm(kernel2, proc)
+
+    def test_double_booked_page(self, kernel2, proc):
+        from repro.kernel.swap import SwapEntry
+
+        va = next(iter(proc.mm.frames))
+        proc.mm.swapped[va] = SwapEntry(slot=0, prot=7)
+        with pytest.raises(ConsistencyError, match="resident and swapped"):
+            validate_mm(kernel2, proc)
+
+    def test_unreachable_registry_page(self, kernel2, proc):
+        from repro.mem.frame import FrameKind
+        from repro.paging.pagetable import PageTablePage
+
+        frame = kernel2.physmem.alloc_frame(0, kind=FrameKind.PAGE_TABLE)
+        orphan = PageTablePage(frame=frame, level=1)
+        proc.mm.tree.registry[orphan.pfn] = orphan
+        with pytest.raises(ConsistencyError, match="unreachable"):
+            validate_mm(kernel2, proc)

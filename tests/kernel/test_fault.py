@@ -1,0 +1,114 @@
+"""Page-fault handler: demand paging, placement, THP decisions."""
+
+import pytest
+
+from repro.errors import ProtectionFault, SegmentationFault
+from repro.kernel.policy import FixedNodePolicy, InterleavePolicy
+from repro.kernel.vma import PROT_DEFAULT
+from repro.mem.fragmentation import FragmentationInjector
+from repro.paging.pte import PTE_USER
+from repro.units import HUGE_PAGE_SIZE, MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def proc(kernel2):
+    process = kernel2.create_process("t", socket=0)
+    kernel2.sys_mmap(process, 4 * MIB, name="arena")
+    return process
+
+
+class TestDemandPaging:
+    def test_fault_maps_one_page(self, kernel2, proc):
+        result = kernel2.fault_handler.handle(proc, 0x1000, socket=0)
+        assert result.did_map
+        assert result.mapped_bytes == PAGE_SIZE
+        assert proc.mm.tree.translate(0x1000) is not None
+
+    def test_fault_outside_vma_is_segfault(self, kernel2, proc):
+        with pytest.raises(SegmentationFault):
+            kernel2.fault_handler.handle(proc, 1 << 40, socket=0)
+
+    def test_second_fault_is_spurious(self, kernel2, proc):
+        kernel2.fault_handler.handle(proc, 0x1000, socket=0)
+        result = kernel2.fault_handler.handle(proc, 0x1000, socket=0)
+        assert not result.did_map
+        assert result.mapped_bytes == 0
+
+    def test_write_to_readonly_raises_protection_fault(self, kernel2):
+        process = kernel2.create_process("ro", socket=0)
+        va = kernel2.sys_mmap(process, PAGE_SIZE, prot=PTE_USER).value
+        kernel2.fault_handler.handle(process, va, socket=0, is_write=False)
+        with pytest.raises(ProtectionFault):
+            kernel2.fault_handler.handle(process, va, socket=0, is_write=True)
+
+    def test_first_touch_places_on_faulting_socket(self, kernel2, proc):
+        r0 = kernel2.fault_handler.handle(proc, 0x1000, socket=0)
+        r1 = kernel2.fault_handler.handle(proc, 0x2000, socket=1)
+        assert proc.mm.frames[0x1000].frame.node == 0
+        assert proc.mm.frames[0x2000].frame.node == 1
+        assert r0.did_map and r1.did_map
+
+    def test_vma_policy_overrides_process_policy(self, kernel2):
+        process = kernel2.create_process("p", socket=0)
+        va = kernel2.sys_mmap(process, PAGE_SIZE, data_policy=FixedNodePolicy(1)).value
+        kernel2.fault_handler.handle(process, va, socket=0)
+        assert process.mm.frames[va].frame.node == 1
+
+    def test_interleave_process_policy(self, kernel2):
+        process = kernel2.create_process("p", socket=0, data_policy=InterleavePolicy((0, 1)))
+        va = kernel2.sys_mmap(process, 4 * PAGE_SIZE).value
+        nodes = []
+        for i in range(4):
+            kernel2.fault_handler.handle(process, va + i * PAGE_SIZE, socket=0)
+            nodes.append(process.mm.frames[va + i * PAGE_SIZE].frame.node)
+        assert nodes == [0, 1, 0, 1]
+
+    def test_work_counters_report_zeroing(self, kernel2, proc):
+        result = kernel2.fault_handler.handle(proc, 0x1000, socket=0)
+        assert result.work.pages_zeroed_4k == 1
+        assert result.work.pages_zeroed_2m == 0
+
+
+class TestThpFaults:
+    @pytest.fixture
+    def thp_proc(self, kernel2):
+        kernel2.sysctl.thp_enabled = True
+        process = kernel2.create_process("thp", socket=0)
+        kernel2.sys_mmap(process, 8 * MIB, name="arena")
+        return process
+
+    def test_aligned_fault_maps_huge(self, kernel2, thp_proc):
+        va = thp_proc.mm.vmas.in_range(0, 1 << 40)[0].start
+        # mmap aligned the region to 2 MiB because THP is on
+        assert va % HUGE_PAGE_SIZE == 0
+        result = kernel2.fault_handler.handle(thp_proc, va, socket=0, allow_huge=True)
+        assert result.huge
+        assert result.mapped_bytes == HUGE_PAGE_SIZE
+        assert thp_proc.mm.tree.translate(va).level == 2
+
+    def test_huge_disallowed_by_caller(self, kernel2, thp_proc):
+        va = thp_proc.mm.vmas.in_range(0, 1 << 40)[0].start
+        result = kernel2.fault_handler.handle(thp_proc, va, socket=0, allow_huge=False)
+        assert not result.huge
+
+    def test_fragmentation_falls_back_to_4k(self, kernel2, thp_proc):
+        FragmentationInjector(kernel2.physmem).fragment_machine(1.0)
+        va = thp_proc.mm.vmas.in_range(0, 1 << 40)[0].start
+        result = kernel2.fault_handler.handle(thp_proc, va, socket=0, allow_huge=True)
+        assert not result.huge
+        assert result.mapped_bytes == PAGE_SIZE
+        assert kernel2.thp.stats.fallbacks == 1
+
+    def test_existing_4k_page_blocks_huge(self, kernel2, thp_proc):
+        va = thp_proc.mm.vmas.in_range(0, 1 << 40)[0].start
+        kernel2.fault_handler.handle(thp_proc, va + PAGE_SIZE, socket=0, allow_huge=False)
+        result = kernel2.fault_handler.handle(thp_proc, va, socket=0, allow_huge=True)
+        assert not result.huge
+
+    def test_vma_edge_blocks_huge(self, kernel2):
+        kernel2.sysctl.thp_enabled = True
+        process = kernel2.create_process("edge", socket=0)
+        # A VMA smaller than one huge page can never be THP-backed.
+        va = kernel2.sys_mmap(process, MIB).value
+        result = kernel2.fault_handler.handle(process, va, socket=0, allow_huge=True)
+        assert not result.huge

@@ -1,0 +1,140 @@
+"""File mappings + msync: dirty bits drive writeback, replication-correct."""
+
+import pytest
+
+from repro.errors import InvalidMappingError
+from repro.kernel.mmapfile import FileMapManager, SimFile
+from repro.paging.walker import HardwareWalker
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def manager(kernel2):
+    return FileMapManager(kernel2)
+
+
+@pytest.fixture
+def proc(kernel2):
+    return kernel2.create_process("filer", socket=0)
+
+
+@pytest.fixture
+def mapping(manager, proc):
+    file = SimFile(name="data.db", length=16 * PAGE_SIZE)
+    return manager.mmap_file(proc, file, populate=True)
+
+
+def write_page(process, va, socket=0):
+    HardwareWalker(process.mm.tree).walk(va, socket, is_write=True)
+
+
+class TestSimFile:
+    def test_length_validation(self):
+        with pytest.raises(InvalidMappingError):
+            SimFile(name="x", length=100)
+        with pytest.raises(InvalidMappingError):
+            SimFile(name="x", length=0)
+
+    def test_block_generations(self):
+        file = SimFile(name="x", length=4 * PAGE_SIZE)
+        assert file.generation(0) == 0
+        file.write_block(0)
+        file.write_block(0)
+        assert file.generation(0) == 2
+        with pytest.raises(InvalidMappingError):
+            file.write_block(4)
+
+
+class TestMmapFile:
+    def test_mapping_established(self, proc, mapping):
+        assert proc.mm.tree.translate(mapping.va) is not None
+        assert mapping.length == 16 * PAGE_SIZE
+
+    def test_offset_mapping(self, manager, proc):
+        file = SimFile(name="big", length=16 * PAGE_SIZE)
+        mapping = manager.mmap_file(proc, file, length=4 * PAGE_SIZE, offset=8 * PAGE_SIZE)
+        assert mapping.block_of(mapping.va) == 8
+        assert mapping.block_of(mapping.va + PAGE_SIZE) == 9
+
+    def test_out_of_bounds_rejected(self, manager, proc):
+        file = SimFile(name="small", length=2 * PAGE_SIZE)
+        with pytest.raises(InvalidMappingError):
+            manager.mmap_file(proc, file, length=4 * PAGE_SIZE)
+
+    def test_mapping_lookup(self, manager, proc, mapping):
+        assert manager.mapping_at(proc, mapping.va + PAGE_SIZE) is mapping
+        with pytest.raises(InvalidMappingError):
+            manager.mapping_at(proc, 0x1)
+
+
+class TestMsync:
+    def test_clean_mapping_writes_nothing(self, manager, proc, mapping):
+        written, _ = manager.msync(proc, mapping)
+        assert written == 0
+        assert mapping.file.writebacks == 0
+
+    def test_only_dirty_pages_written(self, manager, proc, mapping):
+        write_page(proc, mapping.va)
+        write_page(proc, mapping.va + 3 * PAGE_SIZE)
+        written, cycles = manager.msync(proc, mapping)
+        assert written == 2
+        assert cycles > 0
+        assert mapping.file.generation(0) == 1
+        assert mapping.file.generation(3) == 1
+        assert mapping.file.generation(1) == 0
+
+    def test_second_msync_is_clean(self, manager, proc, mapping):
+        write_page(proc, mapping.va)
+        manager.msync(proc, mapping)
+        written, _ = manager.msync(proc, mapping)
+        assert written == 0  # dirty bits were reset everywhere
+
+    def test_rewrite_between_syncs_detected(self, manager, proc, mapping):
+        write_page(proc, mapping.va)
+        manager.msync(proc, mapping)
+        write_page(proc, mapping.va)
+        written, _ = manager.msync(proc, mapping)
+        assert written == 1
+        assert mapping.file.generation(0) == 2
+
+    def test_munmap_file_syncs_first(self, manager, proc, mapping):
+        write_page(proc, mapping.va + PAGE_SIZE)
+        manager.munmap_file(proc, mapping)
+        assert mapping.file.generation(1) == 1
+        assert proc.mm.tree.translate(mapping.va) is None
+
+
+class TestReplicationCorrectness:
+    """The §5.4 case: writes through any replica must reach the file."""
+
+    def test_write_via_remote_replica_synced(self, kernel2, manager, proc, mapping):
+        kernel2.mitosis.set_replication_mask(proc, frozenset({0, 1}))
+        write_page(proc, mapping.va + 2 * PAGE_SIZE, socket=1)  # via socket 1's replica
+        written, _ = manager.msync(proc, mapping)
+        assert written == 1
+        assert mapping.file.generation(2) == 1
+
+    def test_naive_primary_scan_would_lose_the_write(self, kernel2, proc, manager, mapping):
+        """Data-loss scenario Mitosis's OR semantics prevent: the dirty bit
+        lives only in socket 1's replica."""
+        from repro.paging.pte import PTE_DIRTY
+
+        kernel2.mitosis.set_replication_mask(proc, frozenset({0, 1}))
+        va = mapping.va + 2 * PAGE_SIZE
+        write_page(proc, va, socket=1)
+        tree = proc.mm.tree
+        location = tree.leaf_location(va)
+        assert not location.page.entries[location.index] & PTE_DIRTY  # primary: clean!
+        assert tree.ops.read_pte(tree, location.page, location.index) & PTE_DIRTY
+
+    def test_dirty_reset_in_all_replicas_after_sync(self, kernel2, manager, proc, mapping):
+        from repro.mitosis.ring import ring_members
+        from repro.paging.pte import PTE_DIRTY
+
+        kernel2.mitosis.set_replication_mask(proc, frozenset({0, 1}))
+        va = mapping.va
+        write_page(proc, va, socket=1)
+        manager.msync(proc, mapping)
+        location = proc.mm.tree.leaf_location(va)
+        for member in ring_members(proc.mm.tree, location.page):
+            assert not member.entries[location.index] & PTE_DIRTY

@@ -1,0 +1,39 @@
+"""Placement policies."""
+
+import pytest
+
+from repro.kernel.policy import FirstTouchPolicy, FixedNodePolicy, InterleavePolicy
+
+
+class TestFirstTouch:
+    def test_follows_hint(self):
+        policy = FirstTouchPolicy()
+        assert policy.choose_node(0) == 0
+        assert policy.choose_node(3) == 3
+
+
+class TestInterleave:
+    def test_round_robin_ignores_hint(self):
+        policy = InterleavePolicy(nodes=(0, 1, 2))
+        picks = [policy.choose_node(hint=9) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_subset_of_nodes(self):
+        policy = InterleavePolicy(nodes=(1, 3))
+        assert [policy.choose_node(0) for _ in range(4)] == [1, 3, 1, 3]
+
+    def test_reset_restarts_cycle(self):
+        policy = InterleavePolicy(nodes=(0, 1))
+        policy.choose_node(0)
+        policy.reset()
+        assert policy.choose_node(0) == 0
+
+    def test_empty_nodeset_rejected(self):
+        with pytest.raises(ValueError):
+            InterleavePolicy(nodes=())
+
+
+class TestFixed:
+    def test_always_same_node(self):
+        policy = FixedNodePolicy(node=2)
+        assert all(policy.choose_node(h) == 2 for h in range(4))

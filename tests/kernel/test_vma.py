@@ -1,0 +1,160 @@
+"""VMA list: lookup, overlap, split/carve, free-region search."""
+
+import pytest
+
+from repro.errors import InvalidMappingError
+from repro.kernel.vma import Vma, VmaList
+from repro.units import HUGE_PAGE_SIZE, PAGE_SIZE
+
+LIMIT = 1 << 48
+
+
+def vmas():
+    return VmaList(va_limit=LIMIT)
+
+
+class TestVma:
+    def test_alignment_enforced(self):
+        with pytest.raises(InvalidMappingError):
+            Vma(start=100, end=PAGE_SIZE)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidMappingError):
+            Vma(start=PAGE_SIZE, end=PAGE_SIZE)
+
+    def test_contains_and_overlaps(self):
+        vma = Vma(start=0x1000, end=0x3000)
+        assert vma.contains(0x1000)
+        assert vma.contains(0x2FFF)
+        assert not vma.contains(0x3000)
+        assert vma.overlaps(0x2000, 0x4000)
+        assert not vma.overlaps(0x3000, 0x4000)
+
+
+class TestInsertFind:
+    def test_find_hits_containing_vma(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x3000))
+        assert vl.find(0x2000).start == 0x1000
+        assert vl.find(0x3000) is None
+        assert vl.find(0) is None
+
+    def test_overlap_rejected(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x3000))
+        with pytest.raises(InvalidMappingError):
+            vl.insert(Vma(start=0x2000, end=0x4000))
+
+    def test_adjacent_allowed(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x2000))
+        vl.insert(Vma(start=0x2000, end=0x3000))
+        assert len(vl) == 2
+
+    def test_beyond_va_limit_rejected(self):
+        vl = VmaList(va_limit=0x4000)
+        with pytest.raises(InvalidMappingError):
+            vl.insert(Vma(start=0x3000, end=0x5000))
+
+    def test_in_range_returns_all_overlapping(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x2000))
+        vl.insert(Vma(start=0x3000, end=0x4000))
+        vl.insert(Vma(start=0x8000, end=0x9000))
+        found = vl.in_range(0x1800, 0x3800)
+        assert [v.start for v in found] == [0x1000, 0x3000]
+
+
+class TestRemoveRange:
+    def test_exact_removal(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x3000))
+        removed = vl.remove_range(0x1000, 0x3000)
+        assert len(removed) == 1
+        assert len(vl) == 0
+
+    def test_head_split(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x4000))
+        vl.remove_range(0x1000, 0x2000)
+        assert vl.find(0x1000) is None
+        assert vl.find(0x2000).start == 0x2000
+
+    def test_middle_split_leaves_two_pieces(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x5000, name="x"))
+        removed = vl.remove_range(0x2000, 0x3000)
+        assert removed[0].start == 0x2000 and removed[0].end == 0x3000
+        assert vl.find(0x1000).end == 0x2000
+        assert vl.find(0x3000).start == 0x3000
+        assert vl.find(0x2800) is None
+        assert len(vl) == 2
+
+    def test_span_multiple_vmas(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x2000))
+        vl.insert(Vma(start=0x3000, end=0x4000))
+        removed = vl.remove_range(0, 0x10000)
+        assert len(removed) == 2
+        assert len(vl) == 0
+
+    def test_removing_nothing_returns_empty(self):
+        vl = vmas()
+        assert vl.remove_range(0x1000, 0x2000) == []
+
+
+class TestProtectRange:
+    def test_protect_splits_and_updates(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x4000, prot=3))
+        updated = vl.protect_range(0x2000, 0x3000, prot=1)
+        assert len(updated) == 1
+        assert vl.find(0x2000).prot == 1
+        assert vl.find(0x1000).prot == 3
+        assert vl.find(0x3000).prot == 3
+        assert len(vl) == 3
+
+    def test_protect_preserves_metadata(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x2000, prot=3, name="heap"))
+        vl.protect_range(0x1000, 0x2000, prot=0)
+        assert vl.find(0x1000).name == "heap"
+
+
+class TestFreeRegion:
+    def test_first_fit_from_floor(self):
+        vl = vmas()
+        assert vl.find_free_region(0x2000) == PAGE_SIZE
+
+    def test_skips_existing_mappings(self):
+        vl = vmas()
+        vl.insert(Vma(start=PAGE_SIZE, end=0x5000))
+        assert vl.find_free_region(0x1000) == 0x5000
+
+    def test_fits_into_gap(self):
+        vl = vmas()
+        vl.insert(Vma(start=PAGE_SIZE, end=0x2000))
+        vl.insert(Vma(start=0x4000, end=0x5000))
+        assert vl.find_free_region(0x2000) == 0x2000
+
+    def test_alignment_honoured(self):
+        vl = vmas()
+        vl.insert(Vma(start=PAGE_SIZE, end=0x2000))
+        va = vl.find_free_region(HUGE_PAGE_SIZE, align=HUGE_PAGE_SIZE)
+        assert va % HUGE_PAGE_SIZE == 0
+
+    def test_exhaustion_raises(self):
+        vl = VmaList(va_limit=0x4000)
+        vl.insert(Vma(start=PAGE_SIZE, end=0x4000))
+        with pytest.raises(InvalidMappingError):
+            vl.find_free_region(PAGE_SIZE)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(InvalidMappingError):
+            vmas().find_free_region(100)
+
+    def test_total_mapped(self):
+        vl = vmas()
+        vl.insert(Vma(start=0x1000, end=0x3000))
+        vl.insert(Vma(start=0x5000, end=0x6000))
+        assert vl.total_mapped() == 0x3000

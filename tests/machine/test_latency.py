@@ -1,0 +1,69 @@
+"""Timing model: latency/bandwidth/interference arithmetic."""
+
+import pytest
+
+from repro.machine.latency import ContentionTracker, MemoryTimings
+from repro.machine.presets import paper_timings
+
+
+class TestLatency:
+    def test_local_vs_remote(self):
+        t = paper_timings()
+        assert t.latency(0, 0) == 280.0
+        assert t.latency(0, 1) == 580.0
+
+    def test_interference_inflates_latency(self):
+        t = paper_timings()
+        assert t.latency(0, 1, hogged=True) == pytest.approx(580.0 * t.interference_latency_factor)
+
+    def test_cycles_per_line_reflects_bandwidth_gap(self):
+        t = paper_timings()
+        local = t.cycles_per_line(0, 0)
+        remote = t.cycles_per_line(0, 1)
+        # 28 GB/s vs 11 GB/s -> remote costs ~2.5x per line.
+        assert remote / local == pytest.approx(28 / 11, rel=1e-6)
+
+    def test_interference_deflates_bandwidth(self):
+        t = paper_timings()
+        assert t.cycles_per_line(0, 1, hogged=True) == pytest.approx(
+            t.cycles_per_line(0, 1) * t.interference_bandwidth_factor
+        )
+
+    def test_mlp_hides_latency_not_bandwidth(self):
+        t = paper_timings()
+        serial = t.access_cycles(0, 0, mlp=1.0)
+        overlapped = t.access_cycles(0, 0, mlp=8.0)
+        line = t.cycles_per_line(0, 0)
+        assert overlapped == pytest.approx(280.0 / 8 + line)
+        assert serial == pytest.approx(280.0 + line)
+
+    def test_rejects_sub_unit_mlp(self):
+        with pytest.raises(ValueError):
+            paper_timings().access_cycles(0, 0, mlp=0.5)
+
+    def test_remote_access_strictly_costlier(self):
+        t = MemoryTimings()
+        for mlp in (1.0, 2.0, 8.0):
+            assert t.access_cycles(0, 1, mlp=mlp) > t.access_cycles(0, 0, mlp=mlp)
+
+
+class TestContentionTracker:
+    def test_hog_and_release(self):
+        c = ContentionTracker()
+        assert not c.is_hogged(1)
+        c.hog(1)
+        assert c.is_hogged(1)
+        c.release(1)
+        assert not c.is_hogged(1)
+
+    def test_release_is_idempotent(self):
+        c = ContentionTracker()
+        c.release(3)  # no-op, no error
+        assert not c.is_hogged(3)
+
+    def test_clear(self):
+        c = ContentionTracker()
+        c.hog(0)
+        c.hog(2)
+        c.clear()
+        assert not c.hogged_nodes

@@ -1,0 +1,87 @@
+"""Machine topology: core/socket numbering and validation."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine.topology import Core, Machine, Socket
+from repro.units import GIB, MIB
+
+
+class TestSocket:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(TopologyError):
+            Socket(socket_id=0, n_cores=0, memory_bytes=GIB)
+
+    def test_rejects_zero_memory(self):
+        with pytest.raises(TopologyError):
+            Socket(socket_id=0, n_cores=1, memory_bytes=0)
+
+
+class TestMachine:
+    def test_homogeneous_builds_requested_shape(self):
+        machine = Machine.homogeneous(4, cores_per_socket=14, memory_per_socket=128 * GIB)
+        assert machine.n_sockets == 4
+        assert machine.n_cores == 56
+        assert machine.total_memory == 512 * GIB
+
+    def test_core_numbering_is_global_and_contiguous(self):
+        machine = Machine.homogeneous(3, cores_per_socket=2, memory_per_socket=MIB)
+        assert [c.core_id for c in machine.cores()] == list(range(6))
+        assert machine.socket_of_core(0) == 0
+        assert machine.socket_of_core(2) == 1
+        assert machine.socket_of_core(5) == 2
+
+    def test_cores_of_socket(self):
+        machine = Machine.homogeneous(2, cores_per_socket=3, memory_per_socket=MIB)
+        cores = machine.cores_of_socket(1)
+        assert [c.core_id for c in cores] == [3, 4, 5]
+        assert all(c.socket_id == 1 for c in cores)
+
+    def test_rejects_empty_machine(self):
+        with pytest.raises(TopologyError):
+            Machine(sockets=())
+
+    def test_rejects_noncontiguous_socket_ids(self):
+        sockets = (
+            Socket(socket_id=0, n_cores=1, memory_bytes=MIB),
+            Socket(socket_id=2, n_cores=1, memory_bytes=MIB),
+        )
+        with pytest.raises(TopologyError):
+            Machine(sockets=sockets)
+
+    def test_unknown_core_raises(self):
+        machine = Machine.homogeneous(1, cores_per_socket=1, memory_per_socket=MIB)
+        with pytest.raises(TopologyError):
+            machine.core(1)
+
+    def test_unknown_socket_raises(self):
+        machine = Machine.homogeneous(1, cores_per_socket=1, memory_per_socket=MIB)
+        with pytest.raises(TopologyError):
+            machine.socket(1)
+
+    def test_validate_node(self):
+        machine = Machine.homogeneous(2, cores_per_socket=1, memory_per_socket=MIB)
+        assert machine.validate_node(1) == 1
+        with pytest.raises(TopologyError):
+            machine.validate_node(2)
+        with pytest.raises(TopologyError):
+            machine.validate_node(-1)
+
+    def test_is_local(self):
+        machine = Machine.homogeneous(2, cores_per_socket=1, memory_per_socket=MIB)
+        assert machine.is_local(0, 0)
+        assert not machine.is_local(0, 1)
+
+    def test_node_ids_match_sockets(self):
+        machine = Machine.homogeneous(4, cores_per_socket=1, memory_per_socket=MIB)
+        assert machine.node_ids() == (0, 1, 2, 3)
+
+    def test_describe_mentions_shape(self):
+        machine = Machine.homogeneous(2, cores_per_socket=4, memory_per_socket=GIB)
+        text = machine.describe()
+        assert "2 sockets" in text and "4 cores" in text
+
+    def test_cores_are_frozen(self):
+        core = Core(core_id=0, socket_id=0)
+        with pytest.raises(AttributeError):
+            core.core_id = 1

@@ -1,0 +1,54 @@
+"""Fragmentation injector: contiguity destroyed, capacity preserved."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.mem.fragmentation import FragmentationInjector
+from repro.mem.physmem import PhysicalMemory
+from repro.machine.topology import Machine
+from repro.units import MIB, PAGES_PER_HUGE_PAGE, PAGE_SIZE
+
+
+@pytest.fixture
+def pm():
+    return PhysicalMemory(Machine.homogeneous(2, cores_per_socket=1, memory_per_socket=16 * MIB))
+
+
+class TestFragmentation:
+    def test_fraction_breaks_that_many_blocks(self, pm):
+        injector = FragmentationInjector(pm)
+        available = pm.huge_blocks_available(0)
+        broken = injector.fragment_node(0, 0.5)
+        assert broken == available // 2
+        assert pm.huge_blocks_available(0) == available - broken
+
+    def test_full_fragmentation_fails_huge_allocs(self, pm):
+        FragmentationInjector(pm).fragment_node(0, 1.0)
+        with pytest.raises(OutOfMemoryError):
+            pm.alloc_huge_frame(0)
+
+    def test_small_allocations_still_succeed(self, pm):
+        injector = FragmentationInjector(pm)
+        broken = injector.fragment_node(0, 1.0)
+        # Almost all capacity survives as order-0 memory.
+        free = pm.stats(0).free_frames
+        assert free >= broken * (PAGES_PER_HUGE_PAGE - 1)
+        frame = pm.alloc_frame(0)
+        assert frame.nbytes == PAGE_SIZE
+
+    def test_fragment_machine_hits_all_nodes(self, pm):
+        FragmentationInjector(pm).fragment_machine(1.0)
+        for node in (0, 1):
+            with pytest.raises(OutOfMemoryError):
+                pm.alloc_huge_frame(node)
+
+    def test_release_restores_contiguity_capacity(self, pm):
+        injector = FragmentationInjector(pm)
+        injector.fragment_node(0, 1.0)
+        injector.release()
+        # Pins freed; used frames back to zero.
+        assert pm.stats(0).used_frames == 0
+
+    def test_bad_fraction_rejected(self, pm):
+        with pytest.raises(ValueError):
+            FragmentationInjector(pm).fragment_node(0, 1.5)

@@ -1,0 +1,131 @@
+"""Background (incremental) replication: consistency at every step."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.kernel.policy import FixedNodePolicy
+from repro.kernel.pvops import NativePagingOps
+from repro.machine.topology import Machine, Socket
+from repro.mem.pagecache import PageTablePageCache
+from repro.mem.physmem import PhysicalMemory
+from repro.mitosis.background import run_to_completion, start_background_replication
+from repro.mitosis.replication import replica_sockets
+from repro.paging.pagetable import PageTableTree
+from repro.paging.pte import PTE_USER, PTE_WRITABLE
+from repro.paging.walker import HardwareWalker
+from repro.units import MIB, PAGE_SIZE
+
+FLAGS = PTE_WRITABLE | PTE_USER
+MASK = frozenset({0, 1, 2, 3})
+
+
+@pytest.fixture
+def setup(physmem4):
+    cache = PageTablePageCache(physmem4)
+    tree = PageTableTree(NativePagingOps(cache, pt_policy=FixedNodePolicy(0)))
+    mapping = {}
+    for i in range(600):  # spans two L1 tables
+        pfn = physmem4.alloc_frame(0).pfn
+        tree.map_page(i * PAGE_SIZE, pfn, FLAGS)
+        mapping[i * PAGE_SIZE] = pfn
+    return physmem4, cache, tree, mapping
+
+
+def translations_correct(tree, mapping, sockets=range(4)):
+    walker = HardwareWalker(tree)
+    for va, pfn in mapping.items():
+        for socket in sockets:
+            result = walker.walk(va, socket, set_ad_bits=False)
+            if result.translation is None or result.translation.pfn != pfn:
+                return False
+    return True
+
+
+class TestBackgroundReplication:
+    def test_step_makes_bounded_progress(self, setup):
+        physmem, cache, tree, mapping = setup
+        job = start_background_replication(tree, cache, MASK)
+        total = job.remaining
+        assert total == tree.table_count()
+        job.step(max_tables=2)
+        assert job.remaining == total - 2
+        assert not job.done
+
+    def test_consistent_at_every_intermediate_state(self, setup):
+        physmem, cache, tree, mapping = setup
+        job = start_background_replication(tree, cache, MASK)
+        while not job.done:
+            job.step(max_tables=1)
+            assert translations_correct(tree, mapping)
+        assert replica_sockets(tree) == MASK
+
+    def test_completion_matches_eager_replication(self, setup):
+        physmem, cache, tree, mapping = setup
+        job = start_background_replication(tree, cache, MASK)
+        run_to_completion(job)
+        # Every socket walks fully locally, as after eager enable.
+        walker = HardwareWalker(tree)
+        for socket in range(4):
+            result = walker.walk(0, socket, set_ad_bits=False)
+            assert all(a.node == socket for a in result.accesses)
+        assert tree.total_table_count() == 4 * tree.table_count()
+
+    def test_updates_during_job_stay_consistent(self, setup):
+        physmem, cache, tree, mapping = setup
+        job = start_background_replication(tree, cache, MASK)
+        job.step(max_tables=1)
+        # Mutate mid-job: new mapping, an unmap, and a protect.
+        new_pfn = physmem.alloc_frame(1).pfn
+        tree.map_page(0x40000000, new_pfn, FLAGS)  # new subtree -> born replicated
+        mapping[0x40000000] = new_pfn
+        tree.unmap_page(0)
+        del mapping[0]
+        run_to_completion(job)
+        assert translations_correct(tree, mapping)
+        walker = HardwareWalker(tree)
+        for socket in range(4):
+            result = walker.walk(0x40000000, socket, set_ad_bits=False)
+            assert all(a.node == socket for a in result.accesses)
+
+    def test_tables_freed_mid_job_are_skipped(self, setup):
+        physmem, cache, tree, mapping = setup
+        job = start_background_replication(tree, cache, MASK)
+        # Unmap a whole L1 table's worth before it gets replicated.
+        for i in range(512):
+            tree.unmap_page(i * PAGE_SIZE)
+            mapping.pop(i * PAGE_SIZE)
+        run_to_completion(job)
+        assert translations_correct(tree, mapping)
+
+    def test_cycles_accounted(self, setup):
+        physmem, cache, tree, mapping = setup
+        job = start_background_replication(tree, cache, MASK)
+        cycles = run_to_completion(job)
+        assert cycles > 0
+        assert job.tables_copied == tree.table_count()
+
+    def test_oom_pauses_job_resumably(self):
+        # Socket 1 holds 5 frames; 2 are hogged, the tree needs 4 replicas.
+        machine = Machine(sockets=(Socket(0, 1, 32 * MIB), Socket(1, 1, 5 * PAGE_SIZE)))
+        physmem = PhysicalMemory(machine)
+        cache = PageTablePageCache(physmem)
+        tree = PageTableTree(NativePagingOps(cache, pt_policy=FixedNodePolicy(0)))
+        mapping = {}
+        for i in range(8):
+            pfn = physmem.alloc_frame(0).pfn
+            tree.map_page(i * PAGE_SIZE, pfn, FLAGS)
+            mapping[i * PAGE_SIZE] = pfn
+        hogs = [physmem.alloc_frame(1) for _ in range(2)]
+
+        job = start_background_replication(tree, cache, frozenset({0, 1}))
+        with pytest.raises(OutOfMemoryError):
+            run_to_completion(job, max_tables_per_step=1)
+        # Mid-job state is consistent from both sockets...
+        assert translations_correct(tree, mapping, sockets=(0, 1))
+        assert 0 < job.remaining < 4
+        # ...and the job resumes to completion once memory is freed.
+        for hog in hogs:
+            physmem.free(hog)
+        run_to_completion(job)
+        assert replica_sockets(tree) == frozenset({0, 1})
+        assert translations_correct(tree, mapping, sockets=(0, 1))

@@ -1,0 +1,107 @@
+"""The §6.1 counter-driven daemon: automatic replication and migration."""
+
+import pytest
+
+from repro.kernel.policy import FixedNodePolicy
+from repro.mitosis.daemon import MitosisDaemon
+from repro.mitosis.policy import ReplicationTrigger
+from repro.mitosis.replication import replica_sockets
+from repro.sim.engine import EngineConfig, Simulator
+from repro.units import MIB
+from repro.workloads.registry import create
+
+FOOTPRINT = 16 * MIB
+#: A trigger that fires on our short simulated runs.
+EAGER = ReplicationTrigger(
+    min_walk_cycle_fraction=0.1, min_tlb_miss_rate=0.05, min_runtime_cycles=1e4
+)
+
+
+def run_with_daemon(kernel, process, workload, va, sockets, epochs=4):
+    daemon = MitosisDaemon(manager=kernel.mitosis, process=process)
+    kernel.mitosis.trigger = EAGER
+    config = EngineConfig(
+        accesses_per_thread=4000, epochs=epochs, epoch_callback=daemon.callback()
+    )
+    metrics = Simulator(kernel, config).run(process, workload, sockets, va)
+    return daemon, metrics
+
+
+class TestAutoReplication:
+    def test_daemon_replicates_multisocket_process(self, kernel4):
+        process = kernel4.create_process("auto", socket=0)
+        for s in (1, 2, 3):
+            process.add_thread(s)
+        workload = create("xsbench", footprint=FOOTPRINT)
+        va = kernel4.sys_mmap(process, FOOTPRINT, populate=True).value
+        daemon, _ = run_with_daemon(kernel4, process, workload, va, [0, 1, 2, 3])
+        assert process.mm.replicated
+        assert [d.action for d in daemon.decisions] == ["replicate"]
+        assert replica_sockets(process.mm.tree) == frozenset({0, 1, 2, 3})
+
+    def test_daemon_acts_once(self, kernel4):
+        process = kernel4.create_process("auto", socket=0)
+        process.add_thread(1)
+        workload = create("gups", footprint=FOOTPRINT)
+        va = kernel4.sys_mmap(process, FOOTPRINT, populate=True).value
+        daemon, _ = run_with_daemon(kernel4, process, workload, va, [0, 1], epochs=6)
+        assert len(daemon.decisions) == 1
+
+    def test_daemon_spares_low_pressure_processes(self, kernel4):
+        process = kernel4.create_process("quiet", socket=0)
+        process.add_thread(1)
+        workload = create("stream", footprint=2 * MIB)  # fits in TLB reach
+        va = kernel4.sys_mmap(process, 2 * MIB, populate=True).value
+        daemon, _ = run_with_daemon(kernel4, process, workload, va, [0, 1])
+        assert not process.mm.replicated
+        assert daemon.decisions == []
+
+    def test_daemon_spares_short_running_processes(self, kernel4):
+        process = kernel4.create_process("short", socket=0)
+        process.add_thread(1)
+        workload = create("gups", footprint=FOOTPRINT)
+        va = kernel4.sys_mmap(process, FOOTPRINT, populate=True).value
+        kernel4.mitosis.trigger = ReplicationTrigger(min_runtime_cycles=1e15)
+        daemon = MitosisDaemon(manager=kernel4.mitosis, process=process)
+        config = EngineConfig(accesses_per_thread=2000, epochs=3, epoch_callback=daemon.callback())
+        Simulator(kernel4, config).run(process, workload, [0, 1], va)
+        assert not process.mm.replicated
+
+
+class TestAutoPtMigration:
+    def test_daemon_migrates_stranded_pagetables(self, kernel2):
+        # A single-socket process whose page-tables were forced remote —
+        # the §3.2 post-migration state.
+        process = kernel2.create_process("stranded", socket=0, pt_policy=FixedNodePolicy(1))
+        workload = create("gups", footprint=FOOTPRINT)
+        va = kernel2.sys_mmap(process, FOOTPRINT, populate=True).value
+        assert all(p.node == 1 for p in process.mm.tree.iter_tables())
+        daemon, _ = run_with_daemon(kernel2, process, workload, va, [0])
+        assert [d.action for d in daemon.decisions] == ["migrate-pt"]
+        assert all(p.node == 0 for p in process.mm.tree.iter_tables())
+
+    def test_migration_improves_following_epochs(self, kernel2):
+        process = kernel2.create_process("stranded", socket=0, pt_policy=FixedNodePolicy(1))
+        workload = create("gups", footprint=FOOTPRINT)
+        va = kernel2.sys_mmap(process, FOOTPRINT, populate=True).value
+        kernel2.mitosis.trigger = EAGER
+        snapshots = []
+        daemon = MitosisDaemon(manager=kernel2.mitosis, process=process)
+
+        def spy(epoch, metrics):
+            snapshots.append(metrics.walk_cycles)
+            daemon.observe(epoch, metrics)
+
+        config = EngineConfig(accesses_per_thread=4000, epochs=4, epoch_callback=spy)
+        metrics = Simulator(kernel2, config).run(process, workload, [0], va)
+        # Walk cycles accumulate slower after the daemon migrated the PTs:
+        first_epoch = snapshots[0]
+        last_epoch_delta = metrics.walk_cycles - snapshots[-1]
+        assert last_epoch_delta < first_epoch * 0.7
+
+    def test_local_pagetables_left_alone(self, kernel2):
+        process = kernel2.create_process("fine", socket=0)
+        workload = create("gups", footprint=FOOTPRINT)
+        va = kernel2.sys_mmap(process, FOOTPRINT, populate=True).value
+        daemon, _ = run_with_daemon(kernel2, process, workload, va, [0])
+        assert daemon.decisions == []

@@ -1,0 +1,106 @@
+"""MitosisManager: the user-facing policy API (Listing 2, §6)."""
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.kernel.sysctl import MitosisMode
+from repro.mitosis.replication import replica_sockets
+from repro.units import MIB
+
+
+@pytest.fixture
+def proc(kernel4):
+    process = kernel4.create_process("app", socket=0)
+    kernel4.sys_mmap(process, MIB, populate=True)
+    return process
+
+
+class TestMaskApi:
+    def test_set_mask_replicates(self, kernel4, proc):
+        kernel4.mitosis.set_replication_mask(proc, frozenset({0, 2}))
+        assert proc.mm.replication_mask == frozenset({0, 2})
+        assert replica_sockets(proc.mm.tree) >= frozenset({0, 2})
+
+    def test_string_mask_accepted(self, kernel4, proc):
+        kernel4.mitosis.set_replication_mask(proc, "0-2")
+        assert proc.mm.replication_mask == frozenset({0, 1, 2})
+
+    def test_empty_mask_restores_native(self, kernel4, proc):
+        kernel4.mitosis.set_replication_mask(proc, frozenset({0, 1, 2, 3}))
+        kernel4.mitosis.set_replication_mask(proc, None)
+        assert proc.mm.replication_mask is None
+        assert replica_sockets(proc.mm.tree) == frozenset({0})
+
+    def test_empty_string_mask_restores_native(self, kernel4, proc):
+        kernel4.mitosis.set_replication_mask(proc, frozenset({0, 1}))
+        kernel4.mitosis.set_replication_mask(proc, "")
+        assert proc.mm.replication_mask is None
+
+    def test_listing2_alias(self, kernel4, proc):
+        kernel4.mitosis.numa_set_pgtable_replication_mask(proc, frozenset({0, 1}))
+        assert kernel4.mitosis.get_replication_mask(proc) == frozenset({0, 1})
+
+    def test_invalid_socket_rejected(self, kernel4, proc):
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            kernel4.mitosis.set_replication_mask(proc, frozenset({9}))
+
+    def test_sysctl_off_blocks_replication(self, kernel4, proc):
+        kernel4.sysctl.mitosis_mode = MitosisMode.OFF
+        with pytest.raises(ReplicationError):
+            kernel4.mitosis.set_replication_mask(proc, frozenset({0, 1}))
+
+    def test_replicate_on_all_sockets(self, kernel4, proc):
+        kernel4.mitosis.replicate_on_all_sockets(proc)
+        assert proc.mm.replication_mask == frozenset({0, 1, 2, 3})
+
+    def test_replicate_where_running(self, kernel4, proc):
+        proc.add_thread(2)
+        kernel4.mitosis.replicate_where_running(proc)
+        assert proc.mm.replication_mask == frozenset({0, 2})
+
+
+class TestAutoTrigger:
+    def test_high_pressure_triggers(self, kernel4, proc):
+        enabled = kernel4.mitosis.auto_replicate(
+            proc, walk_cycle_fraction=0.4, tlb_miss_rate=0.5, runtime_cycles=1e9
+        )
+        assert enabled
+        assert proc.mm.replicated
+
+    def test_short_running_process_skipped(self, kernel4, proc):
+        enabled = kernel4.mitosis.auto_replicate(
+            proc, walk_cycle_fraction=0.9, tlb_miss_rate=0.9, runtime_cycles=1e3
+        )
+        assert not enabled
+
+    def test_low_pressure_skipped(self, kernel4, proc):
+        enabled = kernel4.mitosis.auto_replicate(
+            proc, walk_cycle_fraction=0.01, tlb_miss_rate=0.001, runtime_cycles=1e9
+        )
+        assert not enabled
+
+    def test_already_replicated_noop(self, kernel4, proc):
+        kernel4.mitosis.replicate_on_all_sockets(proc)
+        assert not kernel4.mitosis.auto_replicate(
+            proc, walk_cycle_fraction=0.9, tlb_miss_rate=0.9, runtime_cycles=1e9
+        )
+
+
+class TestSocketListParsing:
+    def test_forms(self):
+        from repro.mitosis.policy import parse_socket_list
+
+        assert parse_socket_list("0,2") == frozenset({0, 2})
+        assert parse_socket_list("0-3") == frozenset({0, 1, 2, 3})
+        assert parse_socket_list("0-1,3") == frozenset({0, 1, 3})
+        assert parse_socket_list(" 1 , 2 ") == frozenset({1, 2})
+        assert parse_socket_list("") == frozenset()
+
+    def test_bad_forms_rejected(self):
+        from repro.mitosis.policy import parse_socket_list
+
+        for bad in ("x", "1-", "3-1", "1,,2-"):
+            with pytest.raises(ReplicationError):
+                parse_socket_list(bad)

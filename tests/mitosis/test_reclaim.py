@@ -1,0 +1,121 @@
+"""Replica shrinking and memory-pressure reclamation (§5.5 lazy dealloc)."""
+
+import pytest
+
+from repro.mitosis.reclaim import reclaim_replicas
+from repro.mitosis.replication import replica_sockets, shrink_replication
+from repro.paging.walker import HardwareWalker
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def replicated(kernel4):
+    process = kernel4.create_process("app", socket=0)
+    kernel4.sys_mmap(process, MIB, populate=True)
+    kernel4.mitosis.replicate_on_all_sockets(process)
+    return kernel4, process
+
+
+class TestShrink:
+    def test_shrink_frees_only_requested_sockets(self, replicated):
+        kernel, process = replicated
+        tree = process.mm.tree
+        total = tree.total_table_count()
+        per_copy = tree.table_count()
+        freed = shrink_replication(tree, kernel.pagecache, frozenset({2, 3}))
+        assert freed == 2 * per_copy
+        assert tree.total_table_count() == total - freed
+        assert replica_sockets(tree) == frozenset({0, 1})
+
+    def test_translations_survive(self, replicated):
+        kernel, process = replicated
+        before = dict(process.mm.tree.iter_mappings())
+        shrink_replication(process.mm.tree, kernel.pagecache, frozenset({1, 2}))
+        assert dict(process.mm.tree.iter_mappings()) == before
+
+    def test_remaining_sockets_still_walk_locally(self, replicated):
+        kernel, process = replicated
+        tree = process.mm.tree
+        shrink_replication(tree, kernel.pagecache, frozenset({2, 3}))
+        walker = HardwareWalker(tree)
+        for socket in (0, 1):
+            result = walker.walk(next(iter(process.mm.frames)), socket, set_ad_bits=False)
+            assert all(a.node == socket for a in result.accesses)
+
+    def test_dropped_socket_falls_back_to_valid_walk(self, replicated):
+        kernel, process = replicated
+        tree = process.mm.tree
+        shrink_replication(tree, kernel.pagecache, frozenset({3}))
+        result = HardwareWalker(tree).walk(
+            next(iter(process.mm.frames)), socket=3, set_ad_bits=False
+        )
+        assert not result.faulted  # remote but correct
+
+    def test_shrink_to_single_copy_restores_native(self, replicated):
+        kernel, process = replicated
+        from repro.kernel.pvops import NativePagingOps
+
+        tree = process.mm.tree
+        shrink_replication(tree, kernel.pagecache, frozenset({1, 2, 3}))
+        assert isinstance(tree.ops, NativePagingOps)
+        assert tree.total_table_count() == tree.table_count()
+        for page in tree.iter_tables():
+            assert page.frame.replica_next is None
+
+    def test_post_shrink_mutations_consistent(self, replicated):
+        kernel, process = replicated
+        tree = process.mm.tree
+        shrink_replication(tree, kernel.pagecache, frozenset({2, 3}))
+        pfn = kernel.physmem.alloc_frame(0).pfn
+        tree.map_page(0x40000000, pfn, 7)
+        walker = HardwareWalker(tree)
+        for socket in (0, 1):
+            result = walker.walk(0x40000000, socket, set_ad_bits=False)
+            assert result.translation.pfn == pfn
+            assert all(a.node == socket for a in result.accesses)
+
+
+class TestReclaim:
+    def test_reclaims_unused_socket_replicas_first(self, replicated):
+        kernel, process = replicated  # threads only on socket 0
+        free_before = kernel.physmem.stats(3).free_frames
+        report = reclaim_replicas(kernel, node=3, target_free_frames=free_before + 1)
+        assert report.tables_freed > 0
+        assert process.pid in report.processes_shrunk
+        assert 3 not in (process.mm.replication_mask or frozenset())
+
+    def test_spares_in_use_replicas_unless_aggressive(self, replicated):
+        kernel, process = replicated
+        process.add_thread(3)  # socket 3 now in use
+        free_before = kernel.physmem.stats(3).free_frames
+        report = reclaim_replicas(kernel, node=3, target_free_frames=free_before + 1)
+        assert process.pid not in report.processes_shrunk
+        report = reclaim_replicas(
+            kernel, node=3, target_free_frames=free_before + 1, aggressive=True
+        )
+        assert process.pid in report.processes_shrunk
+
+    def test_never_reclaims_primary(self, replicated):
+        kernel, process = replicated
+        report = reclaim_replicas(kernel, node=0, target_free_frames=10**9, aggressive=True)
+        assert process.pid not in report.processes_shrunk
+        assert process.mm.tree.translate(next(iter(process.mm.frames))) is not None
+
+    def test_stops_at_target(self, replicated):
+        kernel, process = replicated
+        other = kernel.create_process("other", socket=0)
+        kernel.sys_mmap(other, MIB, populate=True)
+        kernel.mitosis.replicate_on_all_sockets(other)
+        free = kernel.physmem.stats(3).free_frames
+        # One process' worth of replicas is enough to hit the target.
+        per_copy = process.mm.tree.table_count()
+        report = reclaim_replicas(kernel, node=3, target_free_frames=free + per_copy)
+        assert len(report.processes_shrunk) == 1
+
+    def test_mask_cleared_when_single_copy_left(self, kernel2):
+        process = kernel2.create_process("app", socket=0)
+        kernel2.sys_mmap(process, MIB, populate=True)
+        kernel2.mitosis.set_replication_mask(process, frozenset({0, 1}))
+        free = kernel2.physmem.stats(1).free_frames
+        reclaim_replicas(kernel2, node=1, target_free_frames=free + 1)
+        assert process.mm.replication_mask is None

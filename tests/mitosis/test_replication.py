@@ -1,0 +1,166 @@
+"""enable_replication / collapse_replicas on live trees."""
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.kernel.policy import FixedNodePolicy
+from repro.kernel.pvops import NativePagingOps
+from repro.mem.pagecache import PageTablePageCache
+from repro.mitosis.backend import MitosisPagingOps
+from repro.mitosis.replication import (
+    collapse_replicas,
+    enable_replication,
+    replica_sockets,
+)
+from repro.mitosis.ring import ring_members
+from repro.paging.pagetable import PageTableTree
+from repro.paging.pte import PTE_USER, PTE_WRITABLE, pte_pfn, pte_present
+from repro.paging.walker import HardwareWalker
+from repro.units import PAGE_SIZE
+
+FLAGS = PTE_WRITABLE | PTE_USER
+
+
+@pytest.fixture
+def native_tree(physmem4):
+    """A native tree on socket 0 with an 8-page working set."""
+    cache = PageTablePageCache(physmem4)
+    tree = PageTableTree(NativePagingOps(cache, pt_policy=FixedNodePolicy(0)))
+    tree._test_cache = cache
+    tree._test_pfns = []
+    for i in range(8):
+        pfn = physmem4.alloc_frame(0).pfn
+        tree.map_page(i * PAGE_SIZE, pfn, FLAGS)
+        tree._test_pfns.append(pfn)
+    return tree
+
+
+class TestEnable:
+    def test_translations_preserved_for_every_socket(self, native_tree, physmem4):
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1, 2, 3}))
+        walker = HardwareWalker(native_tree)
+        for socket in range(4):
+            for i, pfn in enumerate(native_tree._test_pfns):
+                result = walker.walk(i * PAGE_SIZE, socket=socket, set_ad_bits=False)
+                assert result.translation.pfn == pfn
+
+    def test_every_socket_walks_locally(self, native_tree):
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1, 2, 3}))
+        walker = HardwareWalker(native_tree)
+        for socket in range(4):
+            result = walker.walk(0, socket=socket)
+            assert all(a.node == socket for a in result.accesses)
+
+    def test_replica_sockets_reported(self, native_tree):
+        assert replica_sockets(native_tree) == frozenset({0})
+        enable_replication(native_tree, native_tree._test_cache, frozenset({1, 3}))
+        assert replica_sockets(native_tree) == frozenset({0, 1, 3})
+
+    def test_backend_swapped_and_stats_carried(self, native_tree):
+        writes_before = native_tree.ops.stats.pte_writes
+        ops = enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1}))
+        assert isinstance(native_tree.ops, MitosisPagingOps)
+        assert native_tree.ops is ops
+        assert ops.stats.pte_writes >= writes_before
+
+    def test_post_enable_updates_stay_consistent(self, native_tree, physmem4):
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1, 2, 3}))
+        pfn = physmem4.alloc_frame(1).pfn
+        native_tree.map_page(0x100000, pfn, FLAGS)
+        walker = HardwareWalker(native_tree)
+        for socket in range(4):
+            result = walker.walk(0x100000, socket=socket, set_ad_bits=False)
+            assert result.translation.pfn == pfn
+            assert all(a.node == socket for a in result.accesses)
+
+    def test_empty_mask_rejected(self, native_tree):
+        with pytest.raises(ReplicationError):
+            enable_replication(native_tree, native_tree._test_cache, frozenset())
+
+    def test_enable_is_idempotent_for_same_mask(self, native_tree):
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1}))
+        count = native_tree.total_table_count()
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1}))
+        assert native_tree.total_table_count() == count
+
+    def test_mask_can_grow(self, native_tree):
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1}))
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1, 2}))
+        assert replica_sockets(native_tree) == frozenset({0, 1, 2})
+
+
+class TestCollapse:
+    def test_collapse_to_origin_restores_native(self, native_tree, physmem4):
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1, 2, 3}))
+        collapse_replicas(native_tree, native_tree._test_cache, keep_socket=0)
+        assert isinstance(native_tree.ops, NativePagingOps)
+        assert native_tree.total_table_count() == native_tree.table_count()
+        for i, pfn in enumerate(native_tree._test_pfns):
+            assert native_tree.translate(i * PAGE_SIZE).pfn == pfn
+
+    def test_collapse_to_other_socket_moves_tree(self, native_tree, physmem4):
+        """This IS page-table migration (§5.5)."""
+        enable_replication(native_tree, native_tree._test_cache, frozenset({2}))
+        collapse_replicas(native_tree, native_tree._test_cache, keep_socket=2)
+        assert all(page.node == 2 for page in native_tree.iter_tables())
+        assert native_tree.root.node == 2
+        for i, pfn in enumerate(native_tree._test_pfns):
+            assert native_tree.translate(i * PAGE_SIZE).pfn == pfn
+
+    def test_collapse_frees_replica_frames(self, native_tree, physmem4):
+        pt_before = physmem4.page_table_bytes()
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1, 2, 3}))
+        assert physmem4.page_table_bytes() == 4 * pt_before
+        collapse_replicas(native_tree, native_tree._test_cache, keep_socket=0)
+        assert physmem4.page_table_bytes() == pt_before
+
+    def test_collapse_to_socket_without_copy_gap_fills(self, native_tree):
+        """Collapsing onto a socket with no copy builds it first (rings can
+        be heterogeneous, so collapse must be self-sufficient)."""
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1}))
+        collapse_replicas(native_tree, native_tree._test_cache, keep_socket=3)
+        assert all(page.node == 3 for page in native_tree.iter_tables())
+        for i, pfn in enumerate(native_tree._test_pfns):
+            assert native_tree.translate(i * PAGE_SIZE).pfn == pfn
+
+    def test_rings_dissolved_after_collapse(self, native_tree):
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1}))
+        collapse_replicas(native_tree, native_tree._test_cache, keep_socket=1)
+        for page in native_tree.iter_tables():
+            assert ring_members(native_tree, page) == [page]
+            assert page.primary is None
+
+    def test_post_collapse_mutations_work(self, native_tree, physmem4):
+        enable_replication(native_tree, native_tree._test_cache, frozenset({0, 1}))
+        collapse_replicas(native_tree, native_tree._test_cache, keep_socket=1)
+        pfn = physmem4.alloc_frame(1).pfn
+        native_tree.map_page(0x200000, pfn, FLAGS)
+        assert native_tree.translate(0x200000).pfn == pfn
+        native_tree.unmap_page(0x200000)
+        assert native_tree.translate(0x200000) is None
+
+
+class TestHugePagesReplication:
+    def test_huge_mappings_replicate(self, physmem4):
+        cache = PageTablePageCache(physmem4)
+        tree = PageTableTree(NativePagingOps(cache, pt_policy=FixedNodePolicy(0)))
+        frame = physmem4.alloc_huge_frame(0)
+        tree.map_page(0, frame.pfn, FLAGS, huge=True)
+        enable_replication(tree, cache, frozenset({0, 1}))
+        walker = HardwareWalker(tree)
+        for socket in (0, 1):
+            result = walker.walk(0, socket=socket, set_ad_bits=False)
+            assert result.translation.pfn == frame.pfn
+            assert all(a.node == socket for a in result.accesses)
+            assert [a.level for a in result.accesses] == [4, 3, 2]
+
+    def test_huge_entry_not_treated_as_table_pointer(self, physmem4):
+        """A 2 MiB leaf's PFN must never be 'rewired' like a child table."""
+        cache = PageTablePageCache(physmem4)
+        tree = PageTableTree(NativePagingOps(cache, pt_policy=FixedNodePolicy(0)))
+        frame = physmem4.alloc_huge_frame(1)
+        tree.map_page(0, frame.pfn, FLAGS, huge=True)
+        enable_replication(tree, cache, frozenset({0, 1}))
+        leaf = tree.leaf_location(0)
+        for member in ring_members(tree, leaf.page):
+            assert pte_pfn(member.entries[leaf.index]) == frame.pfn

@@ -1,0 +1,100 @@
+"""The circular replica ring (Fig. 8)."""
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.kernel.pvops import NativePagingOps
+from repro.mem.frame import Frame, FrameKind
+from repro.mem.pagecache import PageTablePageCache
+from repro.mitosis.ring import (
+    link_ring,
+    primary_of,
+    replica_on_socket,
+    ring_members,
+    unlink_ring,
+)
+from repro.paging.pagetable import PageTablePage, PageTableTree
+
+
+def make_page(pfn, node, level=1, primary=None):
+    return PageTablePage(Frame(pfn=pfn, node=node, kind=FrameKind.PAGE_TABLE), level, primary)
+
+
+@pytest.fixture
+def tree(physmem4):
+    return PageTableTree(NativePagingOps(PageTablePageCache(physmem4)))
+
+
+def register(tree, pages):
+    for page in pages:
+        tree.registry[page.pfn] = page
+
+
+class TestLinkRing:
+    def test_singleton_ring_points_to_itself(self, tree):
+        page = make_page(10, 0)
+        link_ring([page])
+        assert page.frame.replica_next == 10
+
+    def test_four_way_ring_is_circular(self, tree):
+        pages = [make_page(10 + i, i) for i in range(4)]
+        link_ring(pages)
+        register(tree, pages)
+        seen = ring_members(tree, pages[0])
+        assert [p.pfn for p in seen] == [10, 11, 12, 13]
+
+    def test_ring_traversal_from_any_member(self, tree):
+        pages = [make_page(10 + i, i) for i in range(3)]
+        link_ring(pages)
+        register(tree, pages)
+        from_middle = ring_members(tree, pages[1])
+        assert {p.pfn for p in from_middle} == {10, 11, 12}
+        assert from_middle[0] is pages[1]
+
+    def test_two_replicas_on_same_node_rejected(self):
+        with pytest.raises(ReplicationError):
+            link_ring([make_page(1, 0), make_page(2, 0)])
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ReplicationError):
+            link_ring([])
+
+    def test_unlink(self, tree):
+        pages = [make_page(10 + i, i) for i in range(2)]
+        link_ring(pages)
+        unlink_ring(pages)
+        register(tree, pages)
+        assert ring_members(tree, pages[0]) == [pages[0]]
+
+
+class TestLookups:
+    def test_replica_on_socket(self, tree):
+        pages = [make_page(10 + i, i) for i in range(4)]
+        link_ring(pages)
+        register(tree, pages)
+        assert replica_on_socket(tree, pages[0], 2) is pages[2]
+        assert replica_on_socket(tree, pages[3], 0) is pages[0]
+
+    def test_replica_on_missing_socket_is_none(self, tree):
+        pages = [make_page(10, 0), make_page(11, 1)]
+        link_ring(pages)
+        register(tree, pages)
+        assert replica_on_socket(tree, pages[0], 3) is None
+
+    def test_unlinked_page_is_its_own_member_list(self, tree):
+        page = make_page(42, 0)
+        register(tree, [page])
+        assert ring_members(tree, page) == [page]
+
+    def test_broken_ring_detected(self, tree):
+        page = make_page(10, 0)
+        page.frame.replica_next = 999  # dangling
+        register(tree, [page])
+        with pytest.raises(ReplicationError):
+            ring_members(tree, page)
+
+    def test_primary_of(self):
+        primary = make_page(1, 0)
+        replica = make_page(2, 1, primary=primary)
+        assert primary_of(primary) is primary
+        assert primary_of(replica) is primary

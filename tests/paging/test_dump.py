@@ -1,0 +1,70 @@
+"""Page-table dump analytics (Fig. 3 / Fig. 4 primitives)."""
+
+import pytest
+
+from repro.kernel.policy import FixedNodePolicy
+from repro.kernel.pvops import NativePagingOps
+from repro.mem.pagecache import PageTablePageCache
+from repro.paging.dump import dump_tree
+from repro.paging.pagetable import PageTableTree
+from repro.paging.pte import PTE_USER, PTE_WRITABLE
+from repro.units import PAGE_SIZE
+
+FLAGS = PTE_WRITABLE | PTE_USER
+
+
+@pytest.fixture
+def tree(physmem2):
+    ops = NativePagingOps(PageTablePageCache(physmem2), pt_policy=FixedNodePolicy(0))
+    return PageTableTree(ops)
+
+
+class TestDump:
+    def test_counts_pages_per_level(self, tree, physmem2):
+        for i in range(4):
+            tree.map_page(i * PAGE_SIZE, physmem2.alloc_frame(1).pfn, FLAGS)
+        dump = dump_tree(tree, physmem2, n_sockets=2)
+        assert dump.cell(4, 0).pages == 1
+        assert dump.cell(1, 0).pages == 1
+        assert dump.cell(1, 1).pages == 0
+
+    def test_leaf_pointers_bucketed_by_data_node(self, tree, physmem2):
+        tree.map_page(0x0000, physmem2.alloc_frame(0).pfn, FLAGS)
+        tree.map_page(0x1000, physmem2.alloc_frame(1).pfn, FLAGS)
+        tree.map_page(0x2000, physmem2.alloc_frame(1).pfn, FLAGS)
+        dump = dump_tree(tree, physmem2, n_sockets=2)
+        assert dump.leaf_pointer_distribution() == [1, 2]
+
+    def test_remote_fraction_of_cell(self, tree, physmem2):
+        tree.map_page(0x0000, physmem2.alloc_frame(0).pfn, FLAGS)
+        tree.map_page(0x1000, physmem2.alloc_frame(1).pfn, FLAGS)
+        dump = dump_tree(tree, physmem2, n_sockets=2)
+        assert dump.cell(1, 0).remote_fraction == pytest.approx(0.5)
+
+    def test_observer_remote_leaf_fraction(self, tree, physmem2):
+        """PT on socket 0: observer 0 sees 0% remote leaf PTEs, observer 1
+        sees 100% — regardless of where the data lives."""
+        tree.map_page(0x0000, physmem2.alloc_frame(1).pfn, FLAGS)
+        dump = dump_tree(tree, physmem2, n_sockets=2)
+        assert dump.remote_leaf_fraction(0) == 0.0
+        assert dump.remote_leaf_fraction(1) == 1.0
+
+    def test_render_contains_level_rows(self, tree, physmem2):
+        tree.map_page(0x0000, physmem2.alloc_frame(0).pfn, FLAGS)
+        text = dump_tree(tree, physmem2, n_sockets=2).render()
+        for row in ("L4", "L3", "L2", "L1"):
+            assert row in text
+        assert "Socket 0" in text
+
+    def test_huge_mappings_counted_at_l2(self, tree, physmem2):
+        frame = physmem2.alloc_huge_frame(1)
+        tree.map_page(0, frame.pfn, FLAGS, huge=True)
+        dump = dump_tree(tree, physmem2, n_sockets=2)
+        assert 1 not in dump.cells  # no leaf level at all
+        # The L2 cell's pointer targets the data node (socket 1).
+        assert dump.cell(2, 0).pointers_to[1] == 1
+
+    def test_empty_tree_dump(self, tree, physmem2):
+        dump = dump_tree(tree, physmem2, n_sockets=2)
+        assert dump.cell(4, 0).pages == 1
+        assert dump.remote_leaf_fraction(0) == 0.0

@@ -1,0 +1,63 @@
+"""Radix geometry: index extraction and spans."""
+
+import pytest
+
+from repro.paging.levels import (
+    GEOMETRY_4LEVEL,
+    GEOMETRY_5LEVEL,
+    PagingGeometry,
+    level_index,
+    level_shift,
+    level_span,
+    table_span,
+)
+from repro.units import GIB, HUGE_PAGE_SIZE, PAGE_SIZE, TIB
+
+
+class TestLevelMath:
+    def test_shifts(self):
+        assert level_shift(1) == 12
+        assert level_shift(2) == 21
+        assert level_shift(3) == 30
+        assert level_shift(4) == 39
+
+    def test_spans(self):
+        assert level_span(1) == PAGE_SIZE
+        assert level_span(2) == HUGE_PAGE_SIZE
+        assert level_span(3) == GIB
+        assert level_span(4) == 512 * GIB
+
+    def test_table_span(self):
+        assert table_span(1) == HUGE_PAGE_SIZE
+        assert table_span(2) == GIB
+
+    def test_index_extraction(self):
+        va = (3 << 39) | (5 << 30) | (7 << 21) | (9 << 12) | 0x123
+        assert level_index(va, 4) == 3
+        assert level_index(va, 3) == 5
+        assert level_index(va, 2) == 7
+        assert level_index(va, 1) == 9
+
+    def test_indices_root_first(self):
+        va = (1 << 39) | (2 << 30)
+        assert GEOMETRY_4LEVEL.indices(va) == (1, 2, 0, 0)
+
+
+class TestGeometry:
+    def test_va_bits(self):
+        assert GEOMETRY_4LEVEL.va_bits == 48
+        assert GEOMETRY_5LEVEL.va_bits == 57
+
+    def test_va_limit_checks(self):
+        GEOMETRY_4LEVEL.check_va(0)
+        GEOMETRY_4LEVEL.check_va((1 << 48) - 1)
+        with pytest.raises(ValueError):
+            GEOMETRY_4LEVEL.check_va(1 << 48)
+        GEOMETRY_5LEVEL.check_va(1 << 48)
+
+    def test_only_4_and_5_levels(self):
+        with pytest.raises(ValueError):
+            PagingGeometry(levels=3)
+
+    def test_4level_covers_256tib(self):
+        assert GEOMETRY_4LEVEL.va_limit == 256 * TIB

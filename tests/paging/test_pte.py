@@ -1,0 +1,65 @@
+"""PTE bit encoding/decoding."""
+
+import pytest
+
+from repro.paging import pte as P
+
+
+class TestEncoding:
+    def test_roundtrip_pfn_and_flags(self):
+        entry = P.make_pte(0x12345, P.PTE_PRESENT | P.PTE_WRITABLE)
+        assert P.pte_pfn(entry) == 0x12345
+        assert P.pte_flags(entry) == P.PTE_PRESENT | P.PTE_WRITABLE
+
+    def test_pfn_range_checked(self):
+        with pytest.raises(ValueError):
+            P.make_pte(-1, 0)
+        with pytest.raises(ValueError):
+            P.make_pte(1 << 40, 0)
+
+    def test_flags_must_not_overlap_pfn_field(self):
+        with pytest.raises(ValueError):
+            P.make_pte(0, 1 << 20)
+
+    def test_nx_bit_survives(self):
+        entry = P.make_pte(7, P.PTE_PRESENT | P.PTE_NX)
+        assert P.pte_flags(entry) & P.PTE_NX
+        assert P.pte_pfn(entry) == 7
+
+
+class TestPredicates:
+    def test_present(self):
+        assert P.pte_present(P.make_pte(1, P.PTE_PRESENT))
+        assert not P.pte_present(P.make_pte(1, P.PTE_WRITABLE))
+        assert not P.pte_present(0)
+
+    def test_writable_user_huge(self):
+        entry = P.make_pte(1, P.PTE_PRESENT | P.PTE_WRITABLE | P.PTE_USER | P.PTE_HUGE)
+        assert P.pte_writable(entry)
+        assert P.pte_huge(entry)
+
+    def test_accessed_dirty(self):
+        entry = P.make_pte(1, P.PTE_PRESENT)
+        assert not P.pte_accessed(entry)
+        entry = P.pte_set_flags(entry, P.PTE_ACCESSED | P.PTE_DIRTY)
+        assert P.pte_accessed(entry)
+        assert P.pte_dirty(entry)
+
+
+class TestFlagOps:
+    def test_set_and_clear(self):
+        entry = P.make_pte(9, P.PTE_PRESENT)
+        entry = P.pte_set_flags(entry, P.PTE_DIRTY)
+        assert P.pte_dirty(entry)
+        entry = P.pte_clear_flags(entry, P.PTE_DIRTY)
+        assert not P.pte_dirty(entry)
+        assert P.pte_pfn(entry) == 9
+
+    def test_replace_flags_preserves_pfn(self):
+        entry = P.make_pte(11, P.PTE_PRESENT | P.PTE_WRITABLE | P.PTE_ACCESSED)
+        replaced = P.pte_replace_flags(entry, P.PTE_PRESENT)
+        assert P.pte_pfn(replaced) == 11
+        assert P.pte_flags(replaced) == P.PTE_PRESENT
+
+    def test_ad_bits_mask(self):
+        assert P.PTE_AD_BITS == P.PTE_ACCESSED | P.PTE_DIRTY

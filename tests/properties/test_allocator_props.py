@@ -1,0 +1,67 @@
+"""Property-based tests: the frame allocator never double-allocates and
+conserves capacity under arbitrary alloc/free interleavings."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfMemoryError
+from repro.mem.allocator import NodeAllocator
+from repro.units import PAGES_PER_HUGE_PAGE
+
+CAPACITY = PAGES_PER_HUGE_PAGE * 4
+
+actions = st.lists(
+    st.sampled_from(["alloc", "alloc", "alloc", "free", "huge", "free_huge", "break"]),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(actions)
+def test_no_double_allocation_and_conservation(script):
+    allocator = NodeAllocator(node=0, pfn_base=1000, capacity_frames=CAPACITY)
+    live_small: list[int] = []
+    live_huge: list[int] = []
+    pinned = 0
+    for action in script:
+        try:
+            if action == "alloc":
+                pfn = allocator.alloc_frame()
+                assert pfn not in live_small
+                assert all(not h <= pfn < h + PAGES_PER_HUGE_PAGE for h in live_huge)
+                live_small.append(pfn)
+            elif action == "free" and live_small:
+                allocator.free_frame(live_small.pop())
+            elif action == "huge":
+                head = allocator.alloc_huge()
+                assert head % PAGES_PER_HUGE_PAGE == 0
+                assert not any(
+                    head <= p < head + PAGES_PER_HUGE_PAGE for p in live_small
+                )
+                live_huge.append(head)
+            elif action == "free_huge" and live_huge:
+                allocator.free_huge(live_huge.pop())
+            elif action == "break":
+                pfn = allocator.break_huge_block()
+                live_small.append(pfn)
+                pinned += 1
+        except OutOfMemoryError:
+            pass
+        used = len(live_small) + len(live_huge) * PAGES_PER_HUGE_PAGE
+        assert allocator.used_frames == used
+        assert 0 <= allocator.free_frames <= CAPACITY
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=CAPACITY))
+def test_full_drain_restores_capacity(n):
+    allocator = NodeAllocator(node=0, pfn_base=0, capacity_frames=CAPACITY)
+    pfns = [allocator.alloc_frame() for _ in range(n)]
+    assert len(set(pfns)) == n
+    for pfn in pfns:
+        allocator.free_frame(pfn)
+    assert allocator.used_frames == 0
+    assert allocator.free_frames == CAPACITY

@@ -1,0 +1,101 @@
+"""Property-based tests: the page-table radix tree.
+
+Invariants:
+* map/translate roundtrip for arbitrary disjoint page sets;
+* unmapping restores "not mapped" and never disturbs other mappings;
+* table garbage collection never leaks (tables return to the baseline
+  when the last mapping goes away).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.policy import FixedNodePolicy
+from repro.kernel.pvops import NativePagingOps
+from repro.machine.topology import Machine
+from repro.mem.pagecache import PageTablePageCache
+from repro.mem.physmem import PhysicalMemory
+from repro.paging.pagetable import PageTableTree
+from repro.paging.pte import PTE_USER, PTE_WRITABLE
+from repro.units import MIB, PAGE_SIZE
+
+FLAGS = PTE_WRITABLE | PTE_USER
+
+# Virtual page numbers spread over several L1/L2/L3 windows.
+vpns = st.integers(min_value=0, max_value=1 << 24)
+
+
+def fresh_tree():
+    physmem = PhysicalMemory(Machine.homogeneous(2, cores_per_socket=1, memory_per_socket=64 * MIB))
+    tree = PageTableTree(NativePagingOps(PageTablePageCache(physmem), pt_policy=FixedNodePolicy(0)))
+    return physmem, tree
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(vpns, min_size=1, max_size=60))
+def test_map_translate_roundtrip(vpn_set):
+    physmem, tree = fresh_tree()
+    mapping = {}
+    for vpn in vpn_set:
+        pfn = physmem.alloc_frame(0).pfn
+        tree.map_page(vpn * PAGE_SIZE, pfn, FLAGS)
+        mapping[vpn] = pfn
+    for vpn, pfn in mapping.items():
+        translation = tree.translate(vpn * PAGE_SIZE)
+        assert translation is not None
+        assert translation.pfn == pfn
+    # iter_mappings agrees exactly
+    listed = {va // PAGE_SIZE: tr.pfn for va, tr in tree.iter_mappings()}
+    assert listed == mapping
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sets(vpns, min_size=2, max_size=40).flatmap(
+        lambda s: st.tuples(st.just(sorted(s)), st.sets(st.sampled_from(sorted(s)), min_size=1))
+    )
+)
+def test_unmap_only_removes_requested(pair):
+    all_vpns, to_remove = pair
+    physmem, tree = fresh_tree()
+    mapping = {}
+    for vpn in all_vpns:
+        pfn = physmem.alloc_frame(0).pfn
+        tree.map_page(vpn * PAGE_SIZE, pfn, FLAGS)
+        mapping[vpn] = pfn
+    for vpn in to_remove:
+        removed = tree.unmap_page(vpn * PAGE_SIZE)
+        assert removed.pfn == mapping[vpn]
+    for vpn in all_vpns:
+        translation = tree.translate(vpn * PAGE_SIZE)
+        if vpn in to_remove:
+            assert translation is None
+        else:
+            assert translation.pfn == mapping[vpn]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(vpns, min_size=1, max_size=40, unique=True))
+def test_tables_never_leak(vpn_list):
+    physmem, tree = fresh_tree()
+    baseline = tree.table_count()
+    for vpn in vpn_list:
+        tree.map_page(vpn * PAGE_SIZE, physmem.alloc_frame(0).pfn, FLAGS)
+    for vpn in vpn_list:
+        tree.unmap_page(vpn * PAGE_SIZE)
+    assert tree.table_count() == baseline
+    assert tree.total_table_count() == baseline
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(vpns, min_size=1, max_size=30))
+def test_valid_counts_match_present_entries(vpn_set):
+    physmem, tree = fresh_tree()
+    for vpn in vpn_set:
+        tree.map_page(vpn * PAGE_SIZE, physmem.alloc_frame(0).pfn, FLAGS)
+    from repro.paging.pte import pte_present
+
+    for page in tree.iter_tables():
+        assert page.valid_count == sum(1 for e in page.entries if pte_present(e))

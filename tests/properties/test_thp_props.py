@@ -1,0 +1,64 @@
+"""Property: THP split/collapse round-trips under arbitrary interleaving."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.policy import FixedNodePolicy
+from repro.kernel.pvops import NativePagingOps
+from repro.machine.topology import Machine
+from repro.mem.pagecache import PageTablePageCache
+from repro.mem.physmem import PhysicalMemory
+from repro.paging.pagetable import PageTableTree
+from repro.paging.pte import PTE_USER, PTE_WRITABLE
+from repro.units import HUGE_PAGE_SIZE, MIB, PAGE_SIZE
+
+FLAGS = PTE_WRITABLE | PTE_USER
+WINDOWS = 4  # four 2 MiB windows
+
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["split", "collapse", "check"]),
+        st.integers(min_value=0, max_value=WINDOWS - 1),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(actions)
+def test_split_collapse_roundtrip(script):
+    physmem = PhysicalMemory(
+        Machine.homogeneous(1, cores_per_socket=1, memory_per_socket=64 * MIB)
+    )
+    tree = PageTableTree(NativePagingOps(PageTablePageCache(physmem), pt_policy=FixedNodePolicy(0)))
+    frames = []
+    for window in range(WINDOWS):
+        frame = physmem.alloc_huge_frame(0)
+        tree.map_page(window * HUGE_PAGE_SIZE, frame.pfn, FLAGS, huge=True)
+        frames.append(frame)
+    is_huge = [True] * WINDOWS
+
+    for op, window in script:
+        base = window * HUGE_PAGE_SIZE
+        if op == "split" and is_huge[window]:
+            tree.split_huge_page(base)
+            is_huge[window] = False
+        elif op == "collapse" and not is_huge[window]:
+            assert tree.collapse_huge_page(base)
+            is_huge[window] = True
+        # Invariant after every step: every byte translates to the same
+        # physical location regardless of mapping granularity.
+        for w in range(WINDOWS):
+            for probe in (0, 7 * PAGE_SIZE, HUGE_PAGE_SIZE - PAGE_SIZE):
+                va = w * HUGE_PAGE_SIZE + probe
+                translation = tree.translate(va)
+                assert translation is not None
+                assert translation.pfn == frames[w].pfn + probe // PAGE_SIZE
+                assert (translation.level == 2) == is_huge[w]
+
+    # Table accounting: split windows cost one L1 table each.
+    expected_tables = 3 + sum(1 for huge in is_huge if not huge)
+    assert tree.table_count() == expected_tables

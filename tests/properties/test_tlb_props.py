@@ -1,0 +1,53 @@
+"""Property-based tests: TLB behaves like a bounded map with LRU sets."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paging.pagetable import Translation
+from repro.tlb.tlb import Tlb
+
+vpn = st.integers(min_value=0, max_value=4096)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(vpn, min_size=1, max_size=300))
+def test_occupancy_never_exceeds_capacity(vpns):
+    tlb = Tlb(entries=16, ways=4, page_shift=12)
+    for v in vpns:
+        if tlb.lookup(v << 12) is None:
+            tlb.insert(v << 12, Translation(pfn=v, flags=1, level=1))
+    assert tlb.occupancy() <= 16
+    for s in tlb._sets:
+        assert len(s) <= 4
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(vpn, min_size=1, max_size=300))
+def test_hits_return_the_inserted_translation(vpns):
+    tlb = Tlb(entries=32, ways=4, page_shift=12)
+    for v in vpns:
+        hit = tlb.lookup(v << 12)
+        if hit is None:
+            tlb.insert(v << 12, Translation(pfn=v + 7, flags=1, level=1))
+        else:
+            assert hit.pfn == v + 7  # a hit never returns someone else's entry
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(vpn, min_size=1, max_size=200))
+def test_small_working_set_eventually_all_hits(vpns):
+    """Any working set within one set's ways must stop missing after the
+    first round (no thrashing below capacity)."""
+    tlb = Tlb(entries=64, ways=4, page_shift=12)
+    working_set = sorted(set(vpns))[:4]
+    for v in working_set:
+        tlb.insert(v << 12, Translation(pfn=v, flags=1, level=1))
+    # May conflict within one set only if >ways map there; restrict to
+    # distinct sets to make the property exact.
+    by_set = {}
+    for v in working_set:
+        by_set.setdefault(v % tlb.n_sets, v)
+    for v in by_set.values():
+        assert tlb.lookup(v << 12) is not None

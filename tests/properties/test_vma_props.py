@@ -1,0 +1,66 @@
+"""Property-based tests: VMA list keeps regions sorted, disjoint and exact
+under arbitrary mmap/munmap/mprotect sequences."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidMappingError
+from repro.kernel.vma import Vma, VmaList
+from repro.units import PAGE_SIZE
+
+LIMIT_PAGES = 256
+
+page_ranges = st.tuples(
+    st.integers(min_value=1, max_value=LIMIT_PAGES - 1),
+    st.integers(min_value=1, max_value=32),
+)
+actions = st.lists(
+    st.tuples(st.sampled_from(["map", "unmap", "protect"]), page_ranges),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(actions)
+def test_vma_list_matches_reference_model(script):
+    vmas = VmaList(va_limit=LIMIT_PAGES * PAGE_SIZE)
+    model: dict[int, int] = {}  # page -> prot
+    for op, (start_page, length) in script:
+        end_page = min(start_page + length, LIMIT_PAGES)
+        start, end = start_page * PAGE_SIZE, end_page * PAGE_SIZE
+        if op == "map":
+            try:
+                vmas.insert(Vma(start=start, end=end, prot=3))
+            except InvalidMappingError:
+                assert any(p in model for p in range(start_page, end_page))
+            else:
+                assert not any(p in model for p in range(start_page, end_page))
+                for p in range(start_page, end_page):
+                    model[p] = 3
+        elif op == "unmap":
+            vmas.remove_range(start, end)
+            for p in range(start_page, end_page):
+                model.pop(p, None)
+        else:
+            vmas.protect_range(start, end, prot=1)
+            for p in range(start_page, end_page):
+                if p in model:
+                    model[p] = 1
+
+    # The VMA list and the page-model agree everywhere.
+    for page in range(LIMIT_PAGES):
+        vma = vmas.find(page * PAGE_SIZE)
+        if page in model:
+            assert vma is not None
+            assert vma.prot == model[page]
+        else:
+            assert vma is None
+
+    # Structural invariants: sorted, non-overlapping, page-aligned.
+    regions = list(vmas)
+    for a, b in zip(regions, regions[1:]):
+        assert a.end <= b.start
+    assert vmas.total_mapped() == len(model) * PAGE_SIZE

@@ -1,0 +1,113 @@
+"""Simulator engine: cost attribution and cache interplay."""
+
+import pytest
+
+from repro.kernel.policy import FixedNodePolicy
+from repro.sim.engine import EngineConfig, Simulator
+from repro.units import KIB, MIB
+from repro.workloads.registry import create
+
+FOOTPRINT = 16 * MIB
+
+
+def build(kernel, pt_socket, data_socket, workload_name="gups"):
+    process = kernel.create_process(
+        workload_name,
+        socket=0,
+        pt_policy=FixedNodePolicy(pt_socket),
+        data_policy=FixedNodePolicy(data_socket),
+    )
+    workload = create(workload_name, footprint=FOOTPRINT)
+    va = kernel.sys_mmap(process, FOOTPRINT).value
+    pos = va
+    while pos < va + FOOTPRINT:
+        result = kernel.fault_handler.handle(process, pos, 0, is_write=True, allow_huge=False)
+        pos += max(result.mapped_bytes, 4096)
+    return process, workload, va
+
+
+def run(kernel, process, workload, va, accesses=4000, **cfg):
+    config = EngineConfig(accesses_per_thread=accesses, **cfg)
+    return Simulator(kernel, config).run(process, workload, [0], va)
+
+
+class TestCostAttribution:
+    def test_remote_pt_costs_more_than_local(self, kernel2):
+        p_local, w, va = build(kernel2, pt_socket=0, data_socket=0)
+        local = run(kernel2, p_local, w, va)
+        p_remote, w2, va2 = build(kernel2, pt_socket=1, data_socket=0)
+        remote = run(kernel2, p_remote, w2, va2)
+        assert remote.runtime_cycles > local.runtime_cycles * 1.3
+        assert remote.walk_cycles > local.walk_cycles * 1.5
+        # data cost identical: only the walk component moved
+        assert remote.threads[0].data_cycles == pytest.approx(local.threads[0].data_cycles, rel=0.01)
+
+    def test_remote_data_costs_more_than_local(self, kernel2):
+        p_local, w, va = build(kernel2, pt_socket=0, data_socket=0)
+        local = run(kernel2, p_local, w, va)
+        p_remote, w2, va2 = build(kernel2, pt_socket=0, data_socket=1)
+        remote = run(kernel2, p_remote, w2, va2)
+        assert remote.threads[0].data_cycles > local.threads[0].data_cycles * 1.5
+        assert remote.walk_cycles == pytest.approx(local.walk_cycles, rel=0.05)
+
+    def test_interference_inflates_hogged_node_cost(self, kernel2):
+        p, w, va = build(kernel2, pt_socket=1, data_socket=0)
+        quiet = run(kernel2, p, w, va)
+        kernel2.contention.hog(1)
+        noisy = run(kernel2, p, w, va)
+        assert noisy.walk_cycles > quiet.walk_cycles * 1.3
+
+    def test_big_footprint_thrashes_tlb(self, kernel2):
+        p, w, va = build(kernel2, pt_socket=0, data_socket=0)
+        metrics = run(kernel2, p, w, va)
+        assert metrics.tlb_miss_rate > 0.7  # 16 MiB >> 4.3 MiB reach
+
+    def test_walk_fraction_meaningful(self, kernel2):
+        p, w, va = build(kernel2, pt_socket=0, data_socket=0)
+        metrics = run(kernel2, p, w, va)
+        assert 0.2 < metrics.walk_cycle_fraction < 0.95
+
+
+class TestCacheInterplay:
+    def test_bigger_pt_llc_reduces_walk_cycles(self, kernel2):
+        p, w, va = build(kernel2, pt_socket=1, data_socket=0)
+        tiny = run(kernel2, p, w, va, pt_llc_bytes=1 * KIB)
+        huge = run(kernel2, p, w, va, pt_llc_bytes=1 * MIB)
+        assert huge.walk_cycles < tiny.walk_cycles * 0.7
+
+    def test_demand_faults_serviced_and_counted(self, kernel2):
+        process = kernel2.create_process("lazy", socket=0)
+        workload = create("gups", footprint=4 * MIB)
+        va = kernel2.sys_mmap(process, 4 * MIB).value  # NOT populated
+        metrics = run(kernel2, process, workload, va, accesses=2000)
+        assert metrics.threads[0].faults > 0
+        assert metrics.threads[0].fault_cycles > 0
+        assert process.mm.tree.translate(va) is not None or metrics.threads[0].faults > 0
+
+    def test_sequential_workload_barely_walks(self, kernel2):
+        process = kernel2.create_process("seq", socket=0)
+        workload = create("stream", footprint=4 * MIB)
+        va = kernel2.sys_mmap(process, 4 * MIB, populate=True).value
+        metrics = run(kernel2, process, workload, va, accesses=4000)
+        # 64 accesses per page -> miss rate ~1/64
+        assert metrics.tlb_miss_rate < 0.1
+
+
+class TestMultiThread:
+    def test_runtime_is_slowest_thread(self, kernel4):
+        process = kernel4.create_process("mt", socket=0)
+        for s in (1, 2, 3):
+            process.add_thread(s)
+        workload = create("xsbench", footprint=FOOTPRINT)
+        va = kernel4.sys_mmap(process, FOOTPRINT, populate=True).value
+        config = EngineConfig(accesses_per_thread=2000)
+        metrics = Simulator(kernel4, config).run(process, workload, [0, 1, 2, 3], va)
+        assert len(metrics.threads) == 4
+        assert metrics.runtime_cycles == pytest.approx(
+            max(t.total_cycles for t in metrics.threads), rel=1e-9
+        )
+
+    def test_contexts_registered_for_shootdown(self, kernel2):
+        p, w, va = build(kernel2, pt_socket=0, data_socket=0)
+        run(kernel2, p, w, va, accesses=100)
+        assert len(kernel2.cpu_contexts) == 1

@@ -1,0 +1,82 @@
+"""Metrics aggregation and figure normalisation helpers."""
+
+import pytest
+
+from repro.sim.metrics import RunMetrics, ThreadMetrics
+from repro.sim.runner import normalize, render_figure
+from repro.sim.scenario import ScenarioResult
+
+
+def thread(cycles_data, cycles_walk, socket=0):
+    t = ThreadMetrics(thread=0, socket=socket)
+    t.data_cycles = cycles_data
+    t.walk_cycles = cycles_walk
+    t.accesses = 100
+    t.tlb_lookups = 100
+    t.tlb_walks = 50
+    return t
+
+
+def result(config, data, walk):
+    return ScenarioResult(
+        workload="w",
+        config=config,
+        thp=False,
+        mitosis="+M" in config,
+        metrics=RunMetrics(threads=[thread(data, walk)]),
+    )
+
+
+class TestThreadMetrics:
+    def test_totals_and_fractions(self):
+        t = thread(60.0, 40.0)
+        assert t.total_cycles == 100.0
+        assert t.walk_cycle_fraction == pytest.approx(0.4)
+        assert t.tlb_miss_rate == pytest.approx(0.5)
+
+    def test_zero_division_guards(self):
+        t = ThreadMetrics(thread=0, socket=0)
+        assert t.walk_cycle_fraction == 0.0
+        assert t.tlb_miss_rate == 0.0
+
+
+class TestRunMetrics:
+    def test_runtime_is_max_thread_plus_overhead(self):
+        m = RunMetrics(threads=[thread(100, 0), thread(300, 50)])
+        m.overhead_cycles = 25
+        assert m.runtime_cycles == 375
+
+    def test_walk_fraction_aggregates_threads(self):
+        m = RunMetrics(threads=[thread(50, 50), thread(100, 0)])
+        assert m.walk_cycle_fraction == pytest.approx(0.25)
+
+    def test_empty_run(self):
+        m = RunMetrics()
+        assert m.runtime_cycles == 0.0
+        assert m.tlb_miss_rate == 0.0
+
+
+class TestNormalize:
+    def test_baseline_is_one(self):
+        results = {"LP-LD": result("LP-LD", 100, 0), "RP-LD": result("RP-LD", 250, 50)}
+        bars = normalize(results, baseline="LP-LD")
+        by_config = {b.config: b for b in bars}
+        assert by_config["LP-LD"].normalized_runtime == pytest.approx(1.0)
+        assert by_config["RP-LD"].normalized_runtime == pytest.approx(3.0)
+
+    def test_pair_speedup_annotation(self):
+        results = {
+            "F": result("F", 200, 100),
+            "F+M": result("F+M", 150, 50),
+        }
+        bars = normalize(results, baseline="F", pairs={"F+M": "F"})
+        fm = next(b for b in bars if b.config == "F+M")
+        assert fm.speedup_vs_pair == pytest.approx(1.5)
+        f = next(b for b in bars if b.config == "F")
+        assert f.speedup_vs_pair is None
+
+    def test_render_figure_mentions_everything(self):
+        results = {"F": result("F", 100, 10)}
+        bars = normalize(results, baseline="F")
+        text = render_figure("Fig 9a", {"canneal": bars})
+        assert "Fig 9a" in text and "canneal" in text and "F" in text

@@ -1,0 +1,74 @@
+"""perf-style counter reporting."""
+
+import pytest
+
+from repro.sim.metrics import RunMetrics, ThreadMetrics
+from repro.sim.perfcounters import perf_stat, render_perf
+
+
+@pytest.fixture
+def metrics():
+    thread = ThreadMetrics(thread=0, socket=0)
+    thread.accesses = 1000
+    thread.tlb_lookups = 1000
+    thread.tlb_walks = 400
+    thread.data_cycles = 60_000.0
+    thread.walk_cycles = 40_000.0
+    thread.walk_memory_refs = 800
+    thread.walk_llc_hits = 300
+    thread.faults = 2
+    return RunMetrics(threads=[thread])
+
+
+class TestPerfStat:
+    def test_counter_mapping(self, metrics):
+        report = perf_stat(metrics)
+        assert report["cycles"] == 100_000.0
+        assert report["dtlb_misses.miss_causes_a_walk"] == 400
+        assert report["dtlb_misses.walk_duration"] == 40_000.0
+        assert report["dtlb_misses.stlb_hit"] == 600
+        assert report["page_walker_loads.total"] == 800
+        assert report["page_walker_loads.llc_hit"] == 300
+        assert report["faults"] == 2
+
+    def test_walk_active_fraction(self, metrics):
+        assert perf_stat(metrics).walk_active_fraction == pytest.approx(0.4)
+
+    def test_multithread_sums(self, metrics):
+        second = ThreadMetrics(thread=1, socket=1)
+        second.tlb_walks = 100
+        second.tlb_lookups = 200
+        metrics.threads.append(second)
+        report = perf_stat(metrics)
+        assert report["dtlb_misses.miss_causes_a_walk"] == 500
+
+    def test_render(self, metrics):
+        text = render_perf(perf_stat(metrics), label="gups")
+        assert "'gups'" in text
+        assert "dtlb_misses.walk_duration" in text
+        assert "40.0% of cycles" in text
+
+    def test_empty_run(self):
+        report = perf_stat(RunMetrics())
+        assert report.walk_active_fraction == 0.0
+
+
+class TestRealRunIntegration:
+    def test_counters_from_simulated_run(self, kernel2):
+        from repro.sim.engine import EngineConfig, Simulator
+        from repro.units import MIB
+        from repro.workloads.registry import create
+
+        process = kernel2.create_process("gups", socket=0)
+        workload = create("gups", footprint=8 * MIB)
+        va = kernel2.sys_mmap(process, 8 * MIB, populate=True).value
+        metrics = Simulator(kernel2, EngineConfig(accesses_per_thread=2000)).run(
+            process, workload, [0], va
+        )
+        report = perf_stat(metrics)
+        assert report["mem_uops_retired.all"] == 2000
+        assert 0 < report.walk_active_fraction < 1
+        assert (
+            report["dtlb_misses.miss_causes_a_walk"] + report["dtlb_misses.stlb_hit"]
+            == 2000
+        )

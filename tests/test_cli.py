@@ -1,0 +1,102 @@
+"""The numactl-style CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out, err = capsys.readouterr()
+    return code, out, err
+
+
+class TestNumactl:
+    def test_plain_run(self, capsys):
+        code, out, _ = run(
+            capsys, "numactl", "gups", "--footprint-mib", "16", "--accesses", "2000",
+            "--sockets", "2",
+        )
+        assert code == 0
+        assert "runtime_cycles=" in out
+        assert "pgtablerepl=off" in out
+
+    def test_pgtablerepl_flag(self, capsys):
+        code, out, _ = run(
+            capsys, "numactl", "gups", "-r", "0-1", "--sockets", "2",
+            "--footprint-mib", "16", "--accesses", "2000",
+        )
+        assert code == 0
+        assert "pgtablerepl=[0, 1]" in out
+
+    def test_remote_pt_is_slower_than_replicated(self, capsys):
+        def runtime(*extra):
+            _, out, _ = run(
+                capsys, "numactl", "gups", "--sockets", "2", "--footprint-mib", "16",
+                "--accesses", "3000", "--pt-node", "1", *extra,
+            )
+            return float(next(l for l in out.splitlines() if l.startswith("runtime")).split("=")[1])
+
+        slow = runtime()
+        fast = runtime("-r", "0")
+        assert fast < slow
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["numactl", "nonsense"])
+
+    def test_perf_flag(self, capsys):
+        code, out, _ = run(
+            capsys, "numactl", "gups", "--perf", "--sockets", "2",
+            "--footprint-mib", "16", "--accesses", "1000",
+        )
+        assert code == 0
+        assert "dtlb_misses.walk_duration" in out
+        assert "page walker active for" in out
+
+
+class TestScenario:
+    def test_migration_scenario(self, capsys):
+        code, out, _ = run(
+            capsys, "scenario", "migration", "gups", "RPI-LD",
+            "--footprint-mib", "16", "--accesses", "2000",
+        )
+        assert code == 0
+        assert "config=RPI-LD" in out
+        assert "s0=100%" in out
+
+    def test_migration_with_mitosis(self, capsys):
+        code, out, _ = run(
+            capsys, "scenario", "migration", "gups", "RPI-LD", "--mitosis",
+            "--footprint-mib", "16", "--accesses", "2000",
+        )
+        assert code == 0
+        assert "config=RPI-LD+M" in out
+        assert "s0=0%" in out
+
+    def test_multisocket_scenario(self, capsys):
+        code, out, _ = run(
+            capsys, "scenario", "multisocket", "canneal", "F+M",
+            "--footprint-mib", "16", "--accesses", "1000",
+        )
+        assert code == 0
+        assert "config=F+M" in out
+
+    def test_bad_config_is_an_error(self, capsys):
+        code, _, err = run(
+            capsys, "scenario", "migration", "gups", "NOPE", "--footprint-mib", "16"
+        )
+        assert code == 2
+        assert "unknown migration config" in err
+
+
+class TestAnalysisCommands:
+    def test_dump(self, capsys):
+        code, out, _ = run(capsys, "dump", "memcached", "--footprint-mib", "16")
+        assert code == 0
+        assert "L4" in out and "Socket 3" in out
+
+    def test_table4(self, capsys):
+        code, out, _ = run(capsys, "table4")
+        assert code == 0
+        assert "1.231" in out and "16.00 TiB" in out

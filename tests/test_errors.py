@@ -1,0 +1,47 @@
+"""Exception hierarchy and error payloads."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.OutOfMemoryError,
+            errors.SegmentationFault,
+            errors.ProtectionFault,
+            errors.InvalidMappingError,
+            errors.ReplicationError,
+            errors.TopologyError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, errors.ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SegmentationFault(0x1234)
+
+
+class TestPayloads:
+    def test_oom_carries_node(self):
+        err = errors.OutOfMemoryError(node=2, nbytes=4096)
+        assert err.node == 2
+        assert err.nbytes == 4096
+        assert "node 2" in str(err)
+
+    def test_oom_machine_wide(self):
+        err = errors.OutOfMemoryError(node=None, nbytes=4096)
+        assert "machine" in str(err)
+
+    def test_segfault_carries_address(self):
+        err = errors.SegmentationFault(0xDEAD000)
+        assert err.vaddr == 0xDEAD000
+        assert "0xdead000" in str(err)
+
+    def test_protection_fault_carries_access(self):
+        err = errors.ProtectionFault(0x1000, "write")
+        assert err.access == "write"
+        assert "write" in str(err)

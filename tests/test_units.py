@@ -1,0 +1,52 @@
+"""Size/alignment helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_sizes(self):
+        assert units.kib(1) == 1024
+        assert units.mib(2) == 2 * 1024**2
+        assert units.gib(1) == 1024**3
+        assert units.tib(1) == 1024**4
+        assert units.mib(0.5) == 512 * 1024
+
+    def test_page_math(self):
+        assert units.pages(1) == 1
+        assert units.pages(4096) == 1
+        assert units.pages(4097) == 2
+        assert units.huge_pages(2 * units.MIB) == 1
+        assert units.huge_pages(2 * units.MIB + 1) == 2
+
+    def test_constants_consistent(self):
+        assert units.PAGE_SIZE == 1 << units.PAGE_SHIFT
+        assert units.HUGE_PAGE_SIZE == 1 << units.HUGE_PAGE_SHIFT
+        assert units.PAGES_PER_HUGE_PAGE == 512
+        assert units.PTES_PER_TABLE == 512
+        assert units.PTES_PER_CACHE_LINE == 8
+
+
+class TestAlignment:
+    @pytest.mark.parametrize(
+        "addr,down,up",
+        [(0, 0, 0), (1, 0, 4096), (4096, 4096, 4096), (8191, 4096, 8192)],
+    )
+    def test_page_align(self, addr, down, up):
+        assert units.page_align_down(addr) == down
+        assert units.page_align_up(addr) == up
+
+    def test_huge_align(self):
+        huge = units.HUGE_PAGE_SIZE
+        assert units.huge_align_down(huge + 5) == huge
+        assert units.huge_align_up(huge + 5) == 2 * huge
+        assert units.huge_align_up(huge) == huge
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert units.fmt_bytes(512) == "512.00 B"
+        assert units.fmt_bytes(2 * units.GIB) == "2.00 GiB"
+        assert units.fmt_bytes(1536) == "1.50 KiB"
+        assert units.fmt_bytes(32 * units.TIB) == "32.00 TiB"

@@ -1,0 +1,71 @@
+"""Paging-structure caches: deepest-start lookup, LRU, capacity."""
+
+from repro.mem.frame import Frame, FrameKind
+from repro.paging.pagetable import PageTablePage
+from repro.tlb.mmu_cache import MmuCacheConfig, MmuCaches
+from repro.units import HUGE_PAGE_SIZE
+
+
+def page(level, pfn=100, node=0):
+    frame = Frame(pfn=pfn, node=node, kind=FrameKind.PAGE_TABLE)
+    return PageTablePage(frame=frame, level=level)
+
+
+class TestLookup:
+    def test_empty_cache_misses(self):
+        mmu = MmuCaches()
+        assert mmu.lookup(0x12345000) is None
+        assert mmu.stats.lookups == 1
+
+    def test_insert_then_lookup_returns_deepest(self):
+        mmu = MmuCaches()
+        va = 0x40000000
+        mmu.insert(va, page(level=3, pfn=1))
+        mmu.insert(va, page(level=2, pfn=2))
+        mmu.insert(va, page(level=1, pfn=3))
+        got, level = mmu.lookup(va)
+        assert level == 1
+        assert got.pfn == 3
+
+    def test_l1_entry_covers_its_2mib_window_only(self):
+        mmu = MmuCaches()
+        mmu.insert(0, page(level=1, pfn=3))
+        assert mmu.lookup(HUGE_PAGE_SIZE - 1)[1] == 1
+        assert mmu.lookup(HUGE_PAGE_SIZE) is None
+
+    def test_uncached_level_is_ignored(self):
+        mmu = MmuCaches(MmuCacheConfig(entries_per_level={1: 2}))
+        mmu.insert(0, page(level=4, pfn=9))  # level 4 not configured
+        assert mmu.lookup(0) is None
+
+    def test_hit_levels_counted(self):
+        mmu = MmuCaches()
+        mmu.insert(0, page(level=2, pfn=1))
+        mmu.lookup(0)
+        assert mmu.stats.hits_at_level == {2: 1}
+        assert mmu.stats.hits == 1
+
+
+class TestReplacement:
+    def test_lru_eviction_at_capacity(self):
+        mmu = MmuCaches(MmuCacheConfig(entries_per_level={1: 2}))
+        mmu.insert(0 * HUGE_PAGE_SIZE, page(1, pfn=1))
+        mmu.insert(1 * HUGE_PAGE_SIZE, page(1, pfn=2))
+        mmu.lookup(0)  # promote window 0
+        mmu.insert(2 * HUGE_PAGE_SIZE, page(1, pfn=3))  # evict window 1
+        assert mmu.lookup(0) is not None
+        assert mmu.lookup(HUGE_PAGE_SIZE) is None
+        assert mmu.lookup(2 * HUGE_PAGE_SIZE) is not None
+
+    def test_reinsert_same_window_does_not_evict(self):
+        mmu = MmuCaches(MmuCacheConfig(entries_per_level={1: 1}))
+        mmu.insert(0, page(1, pfn=1))
+        mmu.insert(0, page(1, pfn=2))
+        got, _ = mmu.lookup(0)
+        assert got.pfn == 2
+
+    def test_flush(self):
+        mmu = MmuCaches()
+        mmu.insert(0, page(1))
+        mmu.flush()
+        assert mmu.lookup(0) is None

@@ -1,0 +1,52 @@
+"""TLB shootdowns: flush semantics and cost accounting."""
+
+from repro.paging.pagetable import Translation
+from repro.tlb.mmu_cache import MmuCaches
+from repro.tlb.shootdown import IPI_CYCLES, TlbShootdown
+from repro.tlb.tlb import TlbHierarchy
+
+
+def contexts(n):
+    return [(TlbHierarchy(), MmuCaches()) for _ in range(n)]
+
+
+def fill(ctx, va=0x1000):
+    tlb, mmu = ctx
+    tlb.insert(va, Translation(pfn=1, flags=1, level=1))
+
+
+class TestShootdown:
+    def test_flush_all_empties_every_core(self):
+        cores = contexts(3)
+        for core in cores:
+            fill(core)
+        TlbShootdown().flush_all(cores)
+        for tlb, _ in cores:
+            assert tlb.lookup(0x1000) is None
+
+    def test_flush_page_removes_only_that_page(self):
+        cores = contexts(2)
+        for core in cores:
+            fill(core, 0x1000)
+            fill(core, 0x2000)
+        TlbShootdown().flush_page(cores, 0x1000)
+        for tlb, _ in cores:
+            assert tlb.lookup(0x1000) is None
+            assert tlb.lookup(0x2000) is not None
+
+    def test_cycles_scale_with_core_count(self):
+        shootdown = TlbShootdown()
+        c1 = shootdown.flush_all(contexts(1))
+        c4 = shootdown.flush_all(contexts(4))
+        assert c4 == 4 * c1
+
+    def test_ipi_accounting(self):
+        shootdown = TlbShootdown()
+        shootdown.flush_all(contexts(4))
+        assert shootdown.stats.shootdowns == 1
+        assert shootdown.stats.ipis == 3
+        assert shootdown.stats.cycles == 4 * IPI_CYCLES
+
+    def test_empty_core_list_still_charges_initiator(self):
+        shootdown = TlbShootdown()
+        assert shootdown.flush_all([]) == IPI_CYCLES

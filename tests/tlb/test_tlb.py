@@ -1,0 +1,130 @@
+"""TLBs: geometry, LRU replacement, two-level behaviour."""
+
+import pytest
+
+from repro.paging.pagetable import Translation
+from repro.tlb.tlb import Tlb, TlbConfig, TlbHierarchy
+from repro.units import HUGE_PAGE_SIZE, MIB, PAGE_SIZE
+
+
+def tr(pfn=1, level=1):
+    return Translation(pfn=pfn, flags=1, level=level)
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(entries=8, ways=2, page_shift=12)
+        assert tlb.lookup(0x1000) is None
+        tlb.insert(0x1000, tr(5))
+        hit = tlb.lookup(0x1000)
+        assert hit.pfn == 5
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_same_page_different_offset_hits(self):
+        tlb = Tlb(entries=8, ways=2, page_shift=12)
+        tlb.insert(0x1000, tr())
+        assert tlb.lookup(0x1FFF) is not None
+
+    def test_lru_eviction_within_set(self):
+        tlb = Tlb(entries=4, ways=2, page_shift=12)  # 2 sets
+        # vpns 0, 2, 4 all map to set 0 (vpn % 2 == 0).
+        tlb.insert(0 << 12, tr(1))
+        tlb.insert(2 << 12, tr(2))
+        tlb.lookup(0 << 12)  # promote vpn 0
+        tlb.insert(4 << 12, tr(3))  # evicts vpn 2
+        assert tlb.lookup(0 << 12) is not None
+        assert tlb.lookup(2 << 12) is None
+        assert tlb.lookup(4 << 12) is not None
+
+    def test_reinsert_updates_value(self):
+        tlb = Tlb(entries=4, ways=2, page_shift=12)
+        tlb.insert(0x1000, tr(1))
+        tlb.insert(0x1000, tr(9))
+        assert tlb.lookup(0x1000).pfn == 9
+        assert tlb.occupancy() == 1
+
+    def test_invalidate_and_flush(self):
+        tlb = Tlb(entries=4, ways=2, page_shift=12)
+        tlb.insert(0x1000, tr())
+        tlb.invalidate(0x1000)
+        assert tlb.lookup(0x1000) is None
+        tlb.insert(0x1000, tr())
+        tlb.insert(0x3000, tr())
+        tlb.flush()
+        assert tlb.occupancy() == 0
+
+    def test_reach(self):
+        assert Tlb(entries=64, ways=4, page_shift=12).reach_bytes == 64 * PAGE_SIZE
+        assert Tlb(entries=32, ways=4, page_shift=21).reach_bytes == 32 * HUGE_PAGE_SIZE
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=6, ways=4, page_shift=12)
+        with pytest.raises(ValueError):
+            Tlb(entries=0, ways=1, page_shift=12)
+
+    def test_capacity_miss_rate_over_large_footprint(self):
+        """Footprint >> reach must produce a near-100% miss rate — the regime
+        the whole paper lives in."""
+        tlb = Tlb(entries=64, ways=4, page_shift=12)
+        import random
+
+        rng = random.Random(1)
+        pages = (8 * MIB) // PAGE_SIZE
+        for _ in range(4000):
+            va = rng.randrange(pages) * PAGE_SIZE
+            if tlb.lookup(va) is None:
+                tlb.insert(va, tr())
+        assert tlb.stats.miss_rate > 0.9
+
+
+class TestHierarchy:
+    def test_l2_hit_refills_l1(self):
+        h = TlbHierarchy(TlbConfig(l1_entries=4, l1_ways=4))
+        h.insert(0x1000, tr())
+        # Evict from tiny L1 by filling same set.
+        for i in range(1, 6):
+            h.insert((0x1000 + i * 4 * PAGE_SIZE), tr())
+        h.l1_4k.flush()
+        assert h.lookup(0x1000) is not None  # L2 still holds it
+        assert h.totals.l2.hits == 1
+        assert h.lookup(0x1000) is not None  # now back in L1
+        assert h.totals.l1.hits >= 1
+
+    def test_walks_counted_on_full_miss(self):
+        h = TlbHierarchy()
+        assert h.lookup(0x5000) is None
+        assert h.totals.walks == 1
+        assert h.miss_rate == 1.0
+
+    def test_huge_translations_use_2m_arrays(self):
+        h = TlbHierarchy()
+        huge = tr(level=2)
+        h.insert(0, huge)
+        # Another VA in the same 2 MiB page hits without a new insert.
+        assert h.lookup(HUGE_PAGE_SIZE - 1) is not None
+        assert h.l1_2m.occupancy() == 1
+        assert h.l1_4k.occupancy() == 0
+
+    def test_flush_clears_both_levels(self):
+        h = TlbHierarchy()
+        h.insert(0x1000, tr())
+        h.flush()
+        assert h.lookup(0x1000) is None
+
+    def test_invalidate_page_hits_all_structures(self):
+        h = TlbHierarchy()
+        h.insert(0x1000, tr())
+        h.insert(0, tr(level=2))
+        h.invalidate_page(0x1000)
+        h.invalidate_page(0)
+        assert h.lookup(0x1000) is None
+        assert h.lookup(0) is None
+
+    def test_paper_geometry_reach(self):
+        h = TlbHierarchy()  # defaults = paper's 64 + 1024
+        assert h.l1_4k.entries == 64
+        assert h.l2_4k.entries == 1024
+        # combined 4k reach ~4.3 MiB -> tiny against any real footprint
+        assert h.l2_4k.reach_bytes == 4 * MIB

@@ -1,0 +1,88 @@
+"""The 2D walker: 24-access worst case, per-dimension attribution, faults,
+nested-TLB shortening."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.sysctl import MitosisMode, Sysctl
+from repro.machine.topology import Machine
+from repro.paging.pte import pte_accessed, pte_dirty
+from repro.units import MIB, PAGE_SIZE
+from repro.virt.nested import NestedTlb, TwoDimWalker
+from repro.virt.vm import VirtualMachine
+
+GUEST_MEM = 8 * MIB
+
+
+@pytest.fixture
+def vm():
+    machine = Machine.homogeneous(2, cores_per_socket=2, memory_per_socket=64 * MIB)
+    kernel = Kernel(machine, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+    machine_vm = VirtualMachine(kernel, guest_memory=GUEST_MEM, npt_node=1)
+    machine_vm.guest_populate(0, MIB)
+    return machine_vm
+
+
+class TestWalkStructure:
+    def test_worst_case_is_24_references(self, vm):
+        walker = TwoDimWalker(vm)
+        result = walker.walk(0x1000, socket=0)
+        assert walker.max_references() == 24
+        assert len(result.accesses) == 24
+        assert result.count("guest") == 4
+        assert result.count("nested") == 20
+
+    def test_dimension_pattern(self, vm):
+        """5 nested sub-walks of 4, interleaved with 4 guest reads."""
+        result = TwoDimWalker(vm).walk(0x1000, socket=0)
+        pattern = [a.dimension for a in result.accesses]
+        expected = (["nested"] * 4 + ["guest"]) * 4 + ["nested"] * 4
+        assert pattern == expected
+
+    def test_result_matches_software_translation(self, vm):
+        result = TwoDimWalker(vm).walk(0x3000, socket=0)
+        assert result.host_pfn << 12 == vm.guest_translate(0x3000)
+
+    def test_nested_accesses_hit_npt_socket(self, vm):
+        result = TwoDimWalker(vm).walk(0x1000, socket=0)
+        nested_nodes = {a.host_node for a in result.accesses if a.dimension == "nested"}
+        assert nested_nodes == {1}  # npt was forced onto socket 1
+
+    def test_guest_fault_reported(self, vm):
+        result = TwoDimWalker(vm).walk(64 * MIB, socket=0)  # way outside
+        assert result.faulted
+        assert result.fault_dimension == "guest"
+
+    def test_write_sets_guest_ad_bits(self, vm):
+        TwoDimWalker(vm).walk(0x1000, socket=0, is_write=True)
+        leaf = vm.gpt.leaf_location(0x1000)
+        entry = leaf.page.entries[leaf.index]
+        assert pte_accessed(entry)
+        assert pte_dirty(entry)
+
+
+class TestNestedTlb:
+    def test_nested_tlb_shortens_walks(self, vm):
+        walker = TwoDimWalker(vm, nested_tlb=NestedTlb())
+        first = walker.walk(0x1000, socket=0)
+        again = walker.walk(0x1000 + PAGE_SIZE, socket=0)
+        # Upper guest PT pages' translations are cached after the first
+        # walk: only fresh gPAs (new leaf line targets) need nested walks.
+        assert len(again.accesses) < len(first.accesses)
+        assert again.count("guest") == 4
+
+    def test_nested_tlb_hit_returns_same_host_pfn(self, vm):
+        tlb = NestedTlb()
+        walker = TwoDimWalker(vm, nested_tlb=tlb)
+        first = walker.walk(0x1000, socket=0)
+        second = walker.walk(0x1000, socket=0)
+        assert first.host_pfn == second.host_pfn
+        assert second.count("nested") == 0  # everything cached
+
+    def test_flush(self, vm):
+        tlb = NestedTlb()
+        walker = TwoDimWalker(vm, nested_tlb=tlb)
+        walker.walk(0x1000, socket=0)
+        tlb.flush()
+        result = walker.walk(0x1000, socket=0)
+        assert result.count("nested") == 20

@@ -1,0 +1,65 @@
+"""VirtSimulator: virtualized runs show the 2D overhead and its repair."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.sysctl import MitosisMode, Sysctl
+from repro.machine.topology import Machine
+from repro.units import MIB
+from repro.virt.engine import VirtEngineConfig, VirtSimulator
+from repro.virt.mitosis_virt import replicate_both
+from repro.virt.vm import VirtualMachine
+from repro.workloads.registry import create
+
+GUEST_MEM = 64 * MIB
+
+
+def build(npt_node=None):
+    machine = Machine.homogeneous(2, cores_per_socket=2, memory_per_socket=192 * MIB)
+    kernel = Kernel(machine, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+    vm = VirtualMachine(kernel, guest_memory=GUEST_MEM, npt_node=npt_node)
+    workload = create("gups", footprint=16 * MIB)
+    vm.guest_populate(0, workload.footprint, vnode=0)
+    return vm, workload
+
+
+CONFIG = VirtEngineConfig(accesses_per_thread=4000)
+
+
+class TestVirtSimulator:
+    def test_virtualized_walks_cost_more_than_native_regime(self):
+        vm, workload = build()
+        metrics = VirtSimulator(vm, CONFIG).run(workload, [0], 0)
+        thread = metrics.threads[0]
+        assert thread.tlb_walks > 0
+        # 2D walks: even with nested TLBs, several refs per walk.
+        assert thread.refs_per_walk > 2.0
+        assert thread.guest_refs > 0 and thread.nested_refs > 0
+
+    def test_nested_tlb_bounds_reference_count(self):
+        vm, workload = build()
+        with_ntlb = VirtSimulator(vm, CONFIG).run(workload, [0], 0).threads[0]
+        without = VirtSimulator(
+            vm, VirtEngineConfig(accesses_per_thread=4000, nested_tlb_entries=4)
+        ).run(workload, [0], 0).threads[0]
+        assert with_ntlb.refs_per_walk < without.refs_per_walk
+
+    def test_remote_npt_slows_down_and_mitosis_repairs(self):
+        local_vm, workload = build(npt_node=0)
+        local = VirtSimulator(local_vm, CONFIG).run(workload, [0], 0)
+        remote_vm, _ = build(npt_node=1)
+        remote = VirtSimulator(remote_vm, CONFIG).run(workload, [0], 0)
+        assert remote.runtime_cycles > local.runtime_cycles * 1.1
+        replicate_both(remote_vm)
+        repaired = VirtSimulator(remote_vm, CONFIG).run(workload, [0], 0)
+        assert repaired.runtime_cycles == pytest.approx(local.runtime_cycles, rel=0.1)
+
+    def test_multi_vcpu_run(self):
+        machine = Machine.homogeneous(2, cores_per_socket=2, memory_per_socket=192 * MIB)
+        kernel = Kernel(machine, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+        vm = VirtualMachine(kernel, guest_memory=GUEST_MEM)
+        workload = create("xsbench", footprint=16 * MIB)
+        vm.guest_populate(0, workload.footprint)
+        metrics = VirtSimulator(vm, CONFIG).run(workload, [0, 1], 0)
+        assert len(metrics.threads) == 2
+        assert metrics.runtime_cycles == max(t.total_cycles for t in metrics.threads)

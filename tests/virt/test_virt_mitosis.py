@@ -1,0 +1,83 @@
+"""Mitosis on virtualized page-tables: guest and nested independently."""
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.kernel.kernel import Kernel
+from repro.kernel.sysctl import MitosisMode, Sysctl
+from repro.machine.topology import Machine
+from repro.units import MIB
+from repro.virt.mitosis_virt import replicate_both, replicate_guest, replicate_nested
+from repro.virt.nested import TwoDimWalker
+from repro.virt.vm import VirtualMachine, VNumaPolicy
+
+GUEST_MEM = 8 * MIB
+
+
+@pytest.fixture
+def vm():
+    machine = Machine.homogeneous(2, cores_per_socket=2, memory_per_socket=96 * MIB)
+    kernel = Kernel(machine, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+    out = VirtualMachine(kernel, guest_memory=GUEST_MEM, npt_node=1)
+    out.guest_populate(0, MIB)
+    return out
+
+
+def remote_refs(vm, socket, dimension=None):
+    result = TwoDimWalker(vm).walk(0x1000, socket=socket)
+    assert not result.faulted
+    return sum(
+        1
+        for a in result.accesses
+        if a.host_node != socket and (dimension is None or a.dimension == dimension)
+    )
+
+
+class TestNestedReplication:
+    def test_nested_replication_localizes_nested_dimension(self, vm):
+        assert remote_refs(vm, 0, "nested") == 20  # npt on socket 1
+        replicate_nested(vm)
+        assert remote_refs(vm, 0, "nested") == 0
+        assert remote_refs(vm, 1, "nested") == 0
+
+    def test_translations_preserved(self, vm):
+        before = vm.guest_translate(0x5000)
+        replicate_nested(vm)
+        assert vm.guest_translate(0x5000) == before
+
+    def test_nested_replication_alone_leaves_guest_dimension(self, vm):
+        replicate_nested(vm)
+        # gPT pages for vnode 0 are backed on host 0; a socket-1 vCPU still
+        # reads some guest PT pages remotely.
+        assert remote_refs(vm, 1, "guest") > 0
+
+
+class TestGuestReplication:
+    def test_guest_replication_needs_exposed_vnuma(self):
+        machine = Machine.homogeneous(2, cores_per_socket=1, memory_per_socket=96 * MIB)
+        kernel = Kernel(machine, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+        hidden = VirtualMachine(kernel, guest_memory=GUEST_MEM, vnuma=VNumaPolicy(exposed=False))
+        with pytest.raises(ReplicationError):
+            replicate_guest(hidden)
+
+    def test_full_replication_localizes_everything(self, vm):
+        replicate_both(vm)
+        for socket in (0, 1):
+            assert remote_refs(vm, socket) == 0
+
+    def test_guest_replicas_live_in_guest_memory(self, vm):
+        before = vm.kernel.physmem.page_table_bytes()
+        replicate_guest(vm)
+        # Guest-level replication allocates *guest* frames; host page-table
+        # bytes (the nPT) are untouched.
+        assert vm.kernel.physmem.page_table_bytes() == before
+        assert vm.guest_physmem.page_table_bytes() > 0
+
+    def test_guest_updates_propagate_to_replicas(self, vm):
+        replicate_both(vm)
+        vm.guest_map(2 * MIB, vnode=1)
+        walker = TwoDimWalker(vm)
+        for socket in (0, 1):
+            result = walker.walk(2 * MIB, socket=socket)
+            assert not result.faulted
+            assert all(a.host_node == socket for a in result.accesses)

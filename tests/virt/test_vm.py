@@ -1,0 +1,90 @@
+"""VirtualMachine: backing, vNUMA exposure, guest mappings."""
+
+import pytest
+
+from repro.errors import InvalidMappingError
+from repro.kernel.kernel import Kernel
+from repro.kernel.sysctl import MitosisMode, Sysctl
+from repro.machine.topology import Machine
+from repro.units import MIB, PAGE_SIZE
+from repro.virt.vm import VirtualMachine, VNumaPolicy
+
+GUEST_MEM = 8 * MIB
+
+
+@pytest.fixture
+def host():
+    machine = Machine.homogeneous(2, cores_per_socket=2, memory_per_socket=64 * MIB)
+    return Kernel(machine, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS))
+
+
+class TestBacking:
+    def test_all_guest_memory_backed_at_creation(self, host):
+        vm = VirtualMachine(host, guest_memory=GUEST_MEM)
+        assert len(vm.backing) == GUEST_MEM // PAGE_SIZE
+        for gfn in (0, 100, GUEST_MEM // PAGE_SIZE - 1):
+            assert vm.npt.translate(gfn * PAGE_SIZE) is not None
+
+    def test_exposed_vnuma_backs_vnode_on_matching_socket(self, host):
+        vm = VirtualMachine(host, guest_memory=GUEST_MEM, vnuma=VNumaPolicy(exposed=True))
+        assert vm.guest_machine.n_sockets == 2
+        per_vnode_gfns = GUEST_MEM // PAGE_SIZE // 2
+        assert vm.host_node_of_gfn(0) == 0
+        assert vm.host_node_of_gfn(per_vnode_gfns) == 1
+
+    def test_hidden_vnuma_single_guest_node_spread_backing(self, host):
+        vm = VirtualMachine(host, guest_memory=GUEST_MEM, vnuma=VNumaPolicy(exposed=False))
+        assert vm.guest_machine.n_sockets == 1
+        nodes = {vm.host_node_of_gfn(gfn) for gfn in range(16)}
+        assert nodes == {0, 1}  # interleaved across host sockets
+
+    def test_npt_node_forces_nested_table_placement(self, host):
+        vm = VirtualMachine(host, guest_memory=GUEST_MEM, npt_node=1)
+        assert all(page.node == 1 for page in vm.npt.iter_tables())
+
+    def test_unbacked_gfn_rejected(self, host):
+        vm = VirtualMachine(host, guest_memory=GUEST_MEM)
+        with pytest.raises(InvalidMappingError):
+            vm.host_frame_of(10**6)
+
+    def test_guest_memory_must_split_across_vnodes(self, host):
+        with pytest.raises(InvalidMappingError):
+            VirtualMachine(host, guest_memory=GUEST_MEM + PAGE_SIZE)
+
+
+class TestGuestMappings:
+    def test_guest_map_and_translate(self, host):
+        vm = VirtualMachine(host, guest_memory=GUEST_MEM)
+        gfn = vm.guest_map(0x4000, vnode=1)
+        hpa = vm.guest_translate(0x4321)
+        assert hpa is not None
+        assert hpa & 0xFFF == 0x321
+        assert hpa >> 12 == vm.host_frame_of(gfn).pfn
+
+    def test_guest_translate_unmapped_is_none(self, host):
+        vm = VirtualMachine(host, guest_memory=GUEST_MEM)
+        assert vm.guest_translate(0x4000) is None
+
+    def test_guest_populate_partitions_across_vnodes(self, host):
+        vm = VirtualMachine(host, guest_memory=GUEST_MEM)
+        vm.guest_populate(0, 2 * MIB)
+        # First half of the range -> vnode 0, second half -> vnode 1.
+        first = vm.gpt.translate(0)
+        last = vm.gpt.translate(2 * MIB - PAGE_SIZE)
+        assert vm.guest_physmem.node_of_pfn(first.pfn) == 0
+        assert vm.guest_physmem.node_of_pfn(last.pfn) == 1
+
+    def test_guest_pt_pages_are_guest_frames(self, host):
+        vm = VirtualMachine(host, guest_memory=GUEST_MEM)
+        vm.guest_map(0x1000, vnode=0)
+        for page in vm.gpt.iter_tables():
+            # gPT pfns are guest frame numbers, resolvable to host frames.
+            assert vm.host_frame_of(page.pfn) is not None
+
+    def test_vnode_socket_mapping(self, host):
+        exposed = VirtualMachine(host, guest_memory=GUEST_MEM, vnuma=VNumaPolicy(True))
+        assert exposed.vnode_to_host(1) == 1
+        assert exposed.host_socket_to_vnode(1) == 1
+        hidden = VirtualMachine(host, guest_memory=GUEST_MEM, vnuma=VNumaPolicy(False))
+        assert hidden.vnode_to_host(0) == 0
+        assert hidden.host_socket_to_vnode(1) == 0

@@ -27,6 +27,8 @@ from repro.kernel.policy import FixedNodePolicy
 from repro.kernel.sysctl import MitosisMode, Sysctl
 from repro.machine.topology import Machine
 from repro.mitosis.policy import parse_socket_list
+from repro.sim.chaos import SCENARIOS as CHAOS_SCENARIOS
+from repro.sim.chaos import run_chaos
 from repro.sim.engine import EngineConfig, Simulator
 from repro.sim.scenario import (
     MIGRATION_CONFIGS,
@@ -79,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
     dump.add_argument("--footprint-mib", type=int, default=64)
 
     sub.add_parser("table4", help="print the Table 4 memory-overhead model")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injection scenario and verify replica consistency",
+    )
+    chaos.add_argument(
+        "--scenario", choices=CHAOS_SCENARIOS, default="replication-oom",
+        help="which chaos scenario to run",
+    )
+    chaos.add_argument("--seed", type=int, default=7, help="fault-plan seed")
     return parser
 
 
@@ -149,6 +161,12 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    report = run_chaos(args.scenario, seed=args.seed)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_dump(args: argparse.Namespace) -> int:
     dump = fig3_snapshot(workload=args.workload, footprint=args.footprint_mib * MIB)
     print(dump.render())
@@ -163,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenario(args)
     if args.command == "dump":
         return _cmd_dump(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "table4":
         print(render_table4())
         return 0

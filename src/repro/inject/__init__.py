@@ -1,0 +1,60 @@
+"""Deterministic fault injection and chaos verification.
+
+The paper's mechanism is defined by its failure handling: strict
+per-socket allocation can fail while other sockets still have memory
+(§5.1), and replicas are the first memory to give back under pressure
+(§5.5). This package makes those failure paths first-class:
+
+* :mod:`repro.inject.plan` — the seeded :class:`FaultPlan` and the site
+  names the memory/TLB/swap layers consult;
+* :mod:`repro.inject.verify` — the replica-consistency verifier, runnable
+  after any chaos scenario.
+
+``plan`` is dependency-free so the low-level layers (allocator,
+page-cache) can import their site constants without dragging in the
+kernel; the verifier — which needs the paging and ring machinery — is
+re-exported lazily to keep that property.
+"""
+
+from repro.inject.plan import (
+    ALL_SITES,
+    SITE_ALLOCATOR_OOM,
+    SITE_PAGECACHE_REFILL,
+    SITE_SHOOTDOWN_DELAY,
+    SITE_SHOOTDOWN_DROP,
+    SITE_SWAP_STALL,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    InjectionStats,
+    ResilienceStats,
+    install_fault_plan,
+    uninstall_fault_plan,
+)
+
+_VERIFY_NAMES = ("VerifyReport", "Violation", "verify_kernel", "verify_tree")
+
+__all__ = [
+    "ALL_SITES",
+    "SITE_ALLOCATOR_OOM",
+    "SITE_PAGECACHE_REFILL",
+    "SITE_SHOOTDOWN_DELAY",
+    "SITE_SHOOTDOWN_DROP",
+    "SITE_SWAP_STALL",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "InjectionStats",
+    "ResilienceStats",
+    "install_fault_plan",
+    "uninstall_fault_plan",
+    *_VERIFY_NAMES,
+]
+
+
+def __getattr__(name: str):
+    if name in _VERIFY_NAMES:
+        from repro.inject import verify
+
+        return getattr(verify, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

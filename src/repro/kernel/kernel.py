@@ -10,6 +10,7 @@ require.
 
 from __future__ import annotations
 
+from repro.inject.plan import ResilienceStats
 from repro.kernel.autonuma import AutoNuma
 from repro.kernel.fault import PageFaultHandler
 from repro.kernel.policy import FixedNodePolicy, PlacementPolicy
@@ -64,6 +65,11 @@ class Kernel(VmSyscalls):
         self.processes: dict[int, Process] = {}
         self._next_pid = 1
         self._mitosis = None
+        #: Installed chaos plan, if any (see ``repro.inject.install_fault_plan``).
+        self.fault_plan = None
+        #: Degradation/retry/recovery accounting for the resilient
+        #: replication path (read by the engine into ``RunMetrics``).
+        self.resilience = ResilienceStats()
 
     @property
     def mitosis(self):

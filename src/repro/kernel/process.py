@@ -70,6 +70,10 @@ class MemoryDescriptor:
         self.data_policy: PlacementPolicy = FirstTouchPolicy()
         #: Sockets holding page-table replicas; ``None`` -> not replicated.
         self.replication_mask: frozenset[int] | None = None
+        #: Set when replication had to degrade to a socket subset under
+        #: memory pressure (a :class:`repro.mitosis.degrade.DegradedState`;
+        #: kept untyped to keep the kernel importable without mitosis).
+        self.degraded = None
         self.lock = MmLock()
 
     @property

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidMappingError, OutOfMemoryError
+from repro.inject.plan import SITE_SWAP_STALL
 from repro.kernel.process import MappedFrame, Process
 from repro.paging.pte import PTE_ACCESSED, PTE_DIRTY
 from repro.units import PAGE_SIZE
@@ -27,6 +28,9 @@ from repro.units import PAGE_SIZE
 SWAP_OUT_CYCLES = 50_000.0
 #: Cost of reading one back on a major fault.
 SWAP_IN_CYCLES = 80_000.0
+#: Extra cycles charged by an injected transient I/O stall whose rule does
+#: not specify its own ``stall_cycles`` (a device hiccup of a few I/Os).
+DEFAULT_STALL_CYCLES = 4 * SWAP_IN_CYCLES
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,9 @@ class SwapStats:
     pages_swapped_in: int = 0
     dirty_writebacks: int = 0
     second_chances: int = 0
+    #: Injected transient I/O stalls (and the cycles they cost).
+    io_stalls: int = 0
+    stall_cycles: float = 0.0
 
 
 class SwapManager:
@@ -90,6 +97,22 @@ class SwapManager:
         self.kernel = kernel
         self.device = device or SwapDevice(capacity_slots=1 << 20)
         self.stats = SwapStats()
+        #: Optional :class:`repro.inject.plan.FaultPlan` for I/O stalls.
+        self.fault_plan = None
+
+    def _maybe_stall(self, op: str) -> float:
+        """Consult the fault plan for a transient I/O stall; returns the
+        extra cycles (the I/O always completes — stalls cost time only)."""
+        plan = self.fault_plan
+        if plan is None:
+            return 0.0
+        rule = plan.fire(SITE_SWAP_STALL, op=op)
+        if rule is None:
+            return 0.0
+        extra = rule.stall_cycles or DEFAULT_STALL_CYCLES
+        self.stats.io_stalls += 1
+        self.stats.stall_cycles += extra
+        return extra
 
     # -- idle detection (the A/D consumer) -----------------------------------------
 
@@ -135,7 +158,7 @@ class SwapManager:
         mapped = mm.frames.get(va)
         if mapped is None or mapped.huge:
             raise InvalidMappingError(f"va 0x{va:x} has no swappable 4 KiB page")
-        cycles = SWAP_OUT_CYCLES
+        cycles = SWAP_OUT_CYCLES + self._maybe_stall("out")
         if self.is_dirty(process, va):
             self.stats.dirty_writebacks += 1  # clean pages skip the write in
             # real kernels; we charge the same I/O either way for simplicity
@@ -164,7 +187,7 @@ class SwapManager:
         mm.frames[va] = MappedFrame(va=va, frame=frame, huge=False)
         self.device.free_slot(entry.slot)
         self.stats.pages_swapped_in += 1
-        return SWAP_IN_CYCLES
+        return SWAP_IN_CYCLES + self._maybe_stall("in")
 
     def reclaim(self, process: Process, target_pages: int, max_passes: int = 3) -> int:
         """Evict up to ``target_pages`` idle pages (clock loop)."""

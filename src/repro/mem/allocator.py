@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import OutOfMemoryError
+from repro.inject.plan import SITE_ALLOCATOR_OOM
 from repro.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
 
 #: log2(frames per huge page)
@@ -36,6 +37,9 @@ class NodeAllocator:
     node: int
     pfn_base: int
     capacity_frames: int
+    #: Optional :class:`repro.inject.plan.FaultPlan` consulted before every
+    #: strict allocation (installed via ``PhysicalMemory.install_fault_plan``).
+    fault_plan: object | None = field(default=None, repr=False, compare=False)
     _bump: int = field(init=False)
     _free_ranges: list[list[int]] = field(init=False, default_factory=list)
     _free_huge: list[int] = field(init=False, default_factory=list)
@@ -73,8 +77,11 @@ class NodeAllocator:
         """Allocate one 4 KiB frame; returns its PFN.
 
         Raises:
-            OutOfMemoryError: the node has no free frame.
+            OutOfMemoryError: the node has no free frame (or an installed
+                fault plan injected one — indistinguishable to callers, by
+                design).
         """
+        self._maybe_inject(PAGE_SIZE)
         if self._free_ranges:
             last = self._free_ranges[-1]
             pfn = last[0]
@@ -123,6 +130,7 @@ class NodeAllocator:
                 if enough scattered 4 KiB frames remain — this is exactly the
                 fragmentation failure mode of Fig. 11.
         """
+        self._maybe_inject(PAGES_PER_HUGE_PAGE * PAGE_SIZE)
         if self._free_huge:
             head = self._free_huge.pop()
             self._used_frames += PAGES_PER_HUGE_PAGE
@@ -162,6 +170,13 @@ class NodeAllocator:
         aligned = -(-self._bump // PAGES_PER_HUGE_PAGE) * PAGES_PER_HUGE_PAGE
         from_bump = max(0, (self.pfn_end - aligned) // PAGES_PER_HUGE_PAGE)
         return from_bump + len(self._free_huge)
+
+    def _maybe_inject(self, nbytes: int) -> None:
+        plan = self.fault_plan
+        if plan is not None and plan.fire(SITE_ALLOCATOR_OOM, node=self.node) is not None:
+            raise OutOfMemoryError(
+                self.node, nbytes, f"injected fault: node {self.node} out of memory"
+            )
 
     def _check_owned(self, pfn: int) -> None:
         if not self.owns(pfn):

@@ -10,8 +10,10 @@ allocations draw from before falling back to the node allocator.
 from __future__ import annotations
 
 from repro.errors import OutOfMemoryError
+from repro.inject.plan import SITE_PAGECACHE_REFILL
 from repro.mem.frame import Frame, FrameKind
 from repro.mem.physmem import PhysicalMemory
+from repro.units import PAGE_SIZE
 
 
 class PageTablePageCache:
@@ -23,6 +25,9 @@ class PageTablePageCache:
         self.physmem = physmem
         self._pools: dict[int, list[Frame]] = {n: [] for n in physmem.machine.node_ids()}
         self._target = 0
+        #: Optional :class:`repro.inject.plan.FaultPlan`; consulted when a
+        #: pool is empty and must refill from the strict node allocator.
+        self.fault_plan = None
         if reserve_per_node:
             self.set_reserve(reserve_per_node)
 
@@ -58,6 +63,12 @@ class PageTablePageCache:
         pool = self._pools[node]
         if pool:
             return pool.pop()
+        plan = self.fault_plan
+        if plan is not None and plan.fire(SITE_PAGECACHE_REFILL, node=node) is not None:
+            raise OutOfMemoryError(
+                node, PAGE_SIZE,
+                f"injected fault: page-table page-cache refill failed on node {node}",
+            )
         return self.physmem.alloc_frame(node, kind=FrameKind.PAGE_TABLE)
 
     def free(self, frame: Frame) -> None:

@@ -41,6 +41,7 @@ class PhysicalMemory:
 
     def __init__(self, machine: Machine):
         self.machine = machine
+        self.fault_plan = None
         self._frames: dict[int, Frame] = {}
         self._allocators: list[NodeAllocator] = []
         self._pt_frames_per_node: list[int] = [0] * machine.n_sockets
@@ -51,6 +52,13 @@ class PhysicalMemory:
                 NodeAllocator(node=socket.socket_id, pfn_base=base, capacity_frames=capacity)
             )
             base += capacity
+
+    def install_fault_plan(self, plan) -> None:
+        """Thread a :class:`repro.inject.plan.FaultPlan` (or ``None``) into
+        every node allocator so strict allocations consult it."""
+        self.fault_plan = plan
+        for allocator in self._allocators:
+            allocator.fault_plan = plan
 
     # -- queries --------------------------------------------------------------
 

@@ -23,6 +23,11 @@ from repro.mitosis.background import (
     start_background_replication,
 )
 from repro.mitosis.daemon import DaemonDecision, MitosisDaemon
+from repro.mitosis.degrade import (
+    DegradedState,
+    enable_replication_resilient,
+    tables_missing_on,
+)
 from repro.mitosis.lazy import LazyMitosisPagingOps, LazyStats, UpdateMessage, make_lazy
 from repro.mitosis.manager import MitosisManager
 from repro.mitosis.naive import (
@@ -53,6 +58,9 @@ from repro.mitosis.ring import (
 
 __all__ = [
     "DaemonDecision",
+    "DegradedState",
+    "enable_replication_resilient",
+    "tables_missing_on",
     "LazyMitosisPagingOps",
     "LazyStats",
     "MitosisDaemon",

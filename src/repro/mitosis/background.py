@@ -40,8 +40,25 @@ class ReplicationJob:
     tree: PageTableTree
     pagecache: PageTablePageCache
     mask: frozenset[int]
+    #: Optional kernel facade. When set, a per-socket OOM first triggers
+    #: replica reclaim on the starving node and a retry; if the node is
+    #: still dry the job *degrades* — it drops the socket from its mask and
+    #: keeps copying for the rest — instead of raising.
+    kernel: object | None = None
+    #: Optional mm descriptor; degradations are recorded on it as a
+    #: :class:`~repro.mitosis.degrade.DegradedState` for the daemon.
+    mm: object | None = None
     tables_copied: int = 0
+    #: Reclaim-then-retry attempts made after per-socket OOM.
+    retries: int = 0
+    #: Sockets dropped from the mask because they stayed dry.
+    degraded_sockets: set[int] = field(default_factory=set)
+    requested_mask: frozenset[int] = frozenset()
     _pending: list[int] = field(default_factory=list)  # primary pfns, deepest first
+
+    def __post_init__(self) -> None:
+        if not self.requested_mask:
+            self.requested_mask = frozenset(self.mask)
 
     @property
     def done(self) -> bool:
@@ -57,8 +74,9 @@ class ReplicationJob:
         activity on the tree.
 
         Raises:
-            OutOfMemoryError: a target socket ran dry; the job stays
-                consistent and resumable — free memory and call again.
+            OutOfMemoryError: a target socket ran dry and the job has no
+                ``kernel`` to degrade through (legacy strict mode); the job
+                stays consistent and resumable — free memory and call again.
         """
         cycles = 0.0
         copied = 0
@@ -68,23 +86,80 @@ class ReplicationJob:
             if primary is None or primary.is_replica:
                 self._pending.pop()  # table was freed (or absorbed) meanwhile
                 continue
-            cycles += _replicate_ring(self.tree, self.pagecache, primary, self.mask)
+            try:
+                cycles += _replicate_ring(self.tree, self.pagecache, primary, self.mask)
+            except OutOfMemoryError as exc:
+                if self.kernel is None or exc.node is None or exc.node not in self.mask:
+                    raise
+                rescued, extra = self._rescue(primary, exc.node)
+                cycles += extra
+                if not rescued:
+                    continue  # mask shrank; retry this ring under the new mask
             self._pending.pop()
             copied += 1
             self.tables_copied += 1
+        if self.done and self.mm is not None:
+            self._record_outcome()
         return cycles
+
+    def _rescue(self, primary: PageTablePage, node: int) -> tuple[bool, float]:
+        """Reclaim on the starving node and retry this ring exactly once;
+        drop the socket from the mask (degrade) if it stays dry."""
+        from repro.mitosis.reclaim import reclaim_replicas
+
+        self.retries += 1
+        self.kernel.resilience.retries += 1
+        reclaim_replicas(
+            self.kernel, node, target_free_frames=self.remaining, aggressive=True
+        )
+        try:
+            cycles = _replicate_ring(self.tree, self.pagecache, primary, self.mask)
+        except OutOfMemoryError:
+            if not self.degraded_sockets:
+                self.kernel.resilience.degradations += 1
+            self.mask = self.mask - {node}
+            self.degraded_sockets.add(node)
+            if not self.mask:
+                raise
+            if isinstance(self.tree.ops, MitosisPagingOps):
+                # New tables must stop targeting the dead socket too.
+                self.tree.ops.mask = self.mask
+            return False, 0.0
+        self.kernel.resilience.reclaim_rescues += 1
+        return True, cycles
+
+    def _record_outcome(self) -> None:
+        """Publish the final mask (and any degradation) on the mm."""
+        from repro.mitosis.degrade import DegradedState
+
+        self.mm.replication_mask = frozenset(self.mask)
+        if self.degraded_sockets:
+            self.mm.degraded = DegradedState(
+                requested_mask=self.requested_mask,
+                achieved_mask=frozenset(self.mask),
+                missing=frozenset(self.degraded_sockets),
+                reason=f"background replication starved on "
+                f"{sorted(self.degraded_sockets)}",
+            )
 
 
 def start_background_replication(
     tree: PageTableTree,
     pagecache: PageTablePageCache,
     mask: frozenset[int],
+    kernel: object | None = None,
+    mm: object | None = None,
 ) -> ReplicationJob:
     """Begin replicating ``tree`` onto ``mask`` incrementally.
 
     Swaps the backend to :class:`MitosisPagingOps` right away: updates are
     propagated to whatever copies exist, and *new* tables are created fully
     replicated. Existing tables are copied by :meth:`ReplicationJob.step`.
+
+    Passing ``kernel`` opts the job into graceful degradation (per-socket
+    OOM triggers reclaim-and-retry, then mask shrinking); ``mm``
+    additionally publishes the outcome — final mask and any
+    :class:`~repro.mitosis.degrade.DegradedState` — when the job finishes.
     """
     if not mask:
         raise ReplicationError("empty mask")
@@ -100,6 +175,8 @@ def start_background_replication(
         tree=tree,
         pagecache=pagecache,
         mask=frozenset(mask),
+        kernel=kernel,
+        mm=mm,
         _pending=[page.pfn for page in reversed(primaries)],
     )
     return job

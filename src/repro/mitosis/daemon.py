@@ -13,7 +13,11 @@ implements it. It observes perf-counter-style snapshots (the simulator's
   the trigger thresholds and the process has run long enough to amortise
   the copy (short-running processes are deliberately never touched);
 * **migrates page-tables** when it notices a single-socket process whose
-  page-tables live elsewhere (the post-OS-migration state of §3.2).
+  page-tables live elsewhere (the post-OS-migration state of §3.2);
+* **completes degraded masks**: a process whose replication had to shrink
+  under memory pressure (see :mod:`repro.mitosis.degrade`) is retried with
+  exponential backoff until the full mask is built — memory freed later
+  turns a degraded process back into a fully replicated one.
 
 Wire it to a run via ``EngineConfig.epoch_callback``.
 """
@@ -23,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.kernel.process import Process
+from repro.mitosis.degrade import enable_replication_resilient
 from repro.mitosis.manager import MitosisManager
 from repro.mitosis.replication import replica_sockets
 from repro.sim.metrics import RunMetrics
@@ -33,7 +38,7 @@ class DaemonDecision:
     """One action the daemon took."""
 
     epoch: int
-    action: str  # "replicate" | "migrate-pt"
+    action: str  # "replicate" | "migrate-pt" | "complete-mask" | "retry-degraded"
     detail: str
 
 
@@ -44,11 +49,15 @@ class MitosisDaemon:
     manager: MitosisManager
     process: Process
     decisions: list[DaemonDecision] = field(default_factory=list)
+    #: Upper bound on the degraded-retry backoff, in epochs.
+    backoff_cap: int = 32
 
     def observe(self, epoch: int, metrics: RunMetrics) -> bool:
         """Inspect counters after an epoch; returns True if it acted."""
         process = self.process
         mm = process.mm
+        if mm.degraded is not None and epoch >= mm.degraded.next_retry_epoch:
+            return self._retry_degraded(epoch)
         runtime = metrics.runtime_cycles
         walk_fraction = metrics.walk_cycle_fraction
         miss_rate = metrics.tlb_miss_rate
@@ -83,6 +92,42 @@ class MitosisDaemon:
                 action="migrate-pt",
                 detail=f"walk {walk_fraction:.0%} with remote page-tables "
                 f"-> migrated {result.tables_copied} tables to socket {socket}",
+            )
+        )
+        return True
+
+    def _retry_degraded(self, epoch: int) -> bool:
+        """Try to complete a degraded replication mask (§5.5 recovery).
+
+        On success the :class:`~repro.mitosis.degrade.DegradedState` is
+        cleared (and a recovery counted); on failure the backoff doubles,
+        up to :attr:`backoff_cap` epochs.
+        """
+        mm = self.process.mm
+        state = mm.degraded
+        achieved = enable_replication_resilient(
+            self.manager.kernel, self.process, state.requested_mask
+        )
+        if mm.degraded is None:
+            self.decisions.append(
+                DaemonDecision(
+                    epoch=epoch,
+                    action="complete-mask",
+                    detail=f"degraded mask completed after {state.retries + 1} "
+                    f"attempt(s): now on {sorted(achieved)}",
+                )
+            )
+            return True
+        delay = state.backoff
+        mm.degraded.retries = state.retries + 1
+        mm.degraded.backoff = min(delay * 2, self.backoff_cap)
+        mm.degraded.next_retry_epoch = epoch + delay
+        self.decisions.append(
+            DaemonDecision(
+                epoch=epoch,
+                action="retry-degraded",
+                detail=f"still missing {sorted(mm.degraded.missing)}; "
+                f"backing off to epoch {mm.degraded.next_retry_epoch}",
             )
         )
         return True

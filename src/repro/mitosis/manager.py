@@ -30,16 +30,35 @@ class MitosisManager:
     kernel: Kernel
     trigger: ReplicationTrigger = field(default_factory=ReplicationTrigger)
 
-    def set_replication_mask(self, process: Process, mask: frozenset[int] | str | None) -> None:
+    def set_replication_mask(
+        self,
+        process: Process,
+        mask: frozenset[int] | str | None,
+        strict: bool = False,
+    ) -> None:
         """Set (or clear) the page-table replication mask of a process.
 
         ``mask`` may be a socket set, a ``numactl`` list string, or
         ``None``/empty to restore default behaviour.
+
+        All validation happens up front — an invalid mask (unknown socket,
+        Mitosis disabled) never mutates the tree, on either the set or the
+        clear path.
+
+        By default a per-socket allocation failure *degrades* the request
+        to the satisfiable socket subset (recording a
+        :class:`~repro.mitosis.degrade.DegradedState` on the mm for the
+        daemon to complete later); ``strict=True`` restores the
+        raise-on-OOM behaviour (the set-up is all-or-nothing either way).
         """
         if isinstance(mask, str):
             mask = parse_socket_list(mask)
-        if self.kernel.sysctl.mitosis_mode is MitosisMode.OFF and mask:
-            raise ReplicationError("Mitosis is disabled system-wide (sysctl)")
+        mask = frozenset(mask) if mask else None
+        if mask:
+            if self.kernel.sysctl.mitosis_mode is MitosisMode.OFF:
+                raise ReplicationError("Mitosis is disabled system-wide (sysctl)")
+            for socket in sorted(mask):
+                self.kernel.machine.socket(socket)  # raises TopologyError
         mm = process.mm
         if not mask:
             if mm.replicated:
@@ -48,12 +67,17 @@ class MitosisManager:
                 collapse_replicas(mm.tree, self.kernel.pagecache, process.home_socket)
                 mm.replication_mask = None
                 self.kernel.shootdown.flush_all(self.kernel.cpu_contexts)
+            mm.degraded = None
             return
-        for socket in mask:
-            self.kernel.machine.socket(socket)
-        enable_replication(mm.tree, self.kernel.pagecache, frozenset(mask))
-        mm.replication_mask = frozenset(mask)
-        self.kernel.shootdown.flush_all(self.kernel.cpu_contexts)
+        if strict:
+            enable_replication(mm.tree, self.kernel.pagecache, mask)
+            mm.replication_mask = mask
+            mm.degraded = None
+            self.kernel.shootdown.flush_all(self.kernel.cpu_contexts)
+        else:
+            from repro.mitosis.degrade import enable_replication_resilient
+
+            enable_replication_resilient(self.kernel, process, mask)
 
     # Listing 2 naming, for people arriving from the paper.
     numa_set_pgtable_replication_mask = set_replication_mask

@@ -64,49 +64,106 @@ def enable_replication(
                 pagecache.free(frames.pop())
         raise
 
-    # Pass 1: allocate missing copies and re-link every ring.
-    created: set[int] = set()  # pfns of freshly allocated replicas
+    # Pass 1+2 are guarded: any failure mid-walk (an injected fault, a ring
+    # inconsistency) unwinds every freshly created copy — no half-linked
+    # rings, no leaked frames, no half-swapped ops backend.
+    created: dict[int, PageTablePage] = {}  # new replica pfn -> its primary
     rings: list[tuple[PageTablePage, list[PageTablePage]]] = []
-    for primary in primaries:
-        members = ring_members(tree, primary)
-        have = {member.node for member in members}
-        for socket in sorted(mask - have):
-            frame = reserved[socket].pop()
-            frame.kind = FrameKind.PAGE_TABLE
-            replica = PageTablePage(frame=frame, level=primary.level, primary=primary)
-            tree.registry[replica.pfn] = replica
-            members.append(replica)
-            created.add(replica.pfn)
-            new_ops.stats.tables_allocated += 1
-        link_ring(members)
-        rings.append((primary, members))
-    assert all(not frames for frames in reserved.values())
+    try:
+        # Pass 1: allocate missing copies and re-link every ring. The ring
+        # is recorded *before* it is mutated so that a failure inside
+        # link_ring still leaves its fresh copies visible to the rollback.
+        for primary in primaries:
+            members = ring_members(tree, primary)
+            rings.append((primary, members))
+            have = {member.node for member in members}
+            for socket in sorted(mask - have):
+                frame = reserved[socket].pop()
+                frame.kind = FrameKind.PAGE_TABLE
+                replica = PageTablePage(frame=frame, level=primary.level, primary=primary)
+                tree.registry[replica.pfn] = replica
+                members.append(replica)
+                created[replica.pfn] = primary
+                new_ops.stats.tables_allocated += 1
+            link_ring(members)
+        assert all(not frames for frames in reserved.values())
 
-    # Pass 2: establish the semantic-replication invariant on *every* copy
-    # (child rings now all exist): new replicas get all entries filled;
-    # pre-existing copies get their upper-level pointers rewired to their
-    # own socket's child copy. Leaf entries are identical everywhere.
-    for primary, members in rings:
-        non_leaf = primary.level > LEAF_LEVEL
-        for member in members:
-            is_new = member.pfn in created
-            for index, entry in enumerate(primary.entries):
-                if not pte_present(entry):
-                    continue
-                if non_leaf and not pte_huge(entry):
-                    child = tree.registry[pte_pfn(entry)]
-                    local_child = replica_on_socket(tree, child, member.node) or child
-                    value = make_pte(local_child.pfn, pte_flags(entry))
-                elif not is_new:
-                    continue  # leaf entry already present and identical
-                else:
-                    value = entry
-                if member.entries[index] != value:
-                    PagingOps.apply_entry_write(member, index, value)
-                    new_ops.stats.pte_writes += 1
+        # Pass 2: establish the semantic-replication invariant on *every*
+        # copy (child rings now all exist): new replicas get all entries
+        # filled; pre-existing copies get their upper-level pointers rewired
+        # to their own socket's child copy. Leaf entries are identical
+        # everywhere.
+        for primary, members in rings:
+            non_leaf = primary.level > LEAF_LEVEL
+            for member in members:
+                is_new = member.pfn in created
+                for index, entry in enumerate(primary.entries):
+                    if not pte_present(entry):
+                        continue
+                    if non_leaf and not pte_huge(entry):
+                        child = tree.registry[pte_pfn(entry)]
+                        local_child = replica_on_socket(tree, child, member.node) or child
+                        value = make_pte(local_child.pfn, pte_flags(entry))
+                    elif not is_new:
+                        continue  # leaf entry already present and identical
+                    else:
+                        value = entry
+                    if member.entries[index] != value:
+                        PagingOps.apply_entry_write(member, index, value)
+                        new_ops.stats.pte_writes += 1
+    except Exception:
+        _rollback_partial_enable(tree, pagecache, rings, created, reserved)
+        raise
 
     tree.ops = new_ops
     return new_ops
+
+
+def _rollback_partial_enable(
+    tree: PageTableTree,
+    pagecache: PageTablePageCache,
+    rings: list[tuple[PageTablePage, list[PageTablePage]]],
+    created: dict[int, PageTablePage],
+    reserved: dict[int, list],
+) -> None:
+    """Unwind a failed :func:`enable_replication` mid-walk.
+
+    Surviving copies may have been rewired to point at a doomed child
+    replica in pass 2 — repoint those entries at the child ring's primary
+    first, then unlink the new copies out of their rings, drop them from
+    the registry and hand their frames back to the page-cache. Unconsumed
+    pass-0 reservations go back too.
+    """
+    # Repoint survivors away from copies that are about to be freed.
+    for primary, members in rings:
+        if primary.level == LEAF_LEVEL:
+            continue
+        for member in members:
+            if member.pfn in created:
+                continue
+            for index, entry in enumerate(member.entries):
+                if not pte_present(entry) or pte_huge(entry):
+                    continue
+                doomed_primary = created.get(pte_pfn(entry))
+                if doomed_primary is not None:
+                    PagingOps.apply_entry_write(
+                        member, index, make_pte(doomed_primary.pfn, pte_flags(entry))
+                    )
+    # Restore ring linkage and free every freshly created copy.
+    for primary, members in rings:
+        keep = [m for m in members if m.pfn not in created]
+        drop = [m for m in members if m.pfn in created]
+        if drop:
+            unlink_ring(members)
+            if len(keep) > 1:
+                link_ring(keep)
+            for member in drop:
+                tree.registry.pop(member.pfn, None)
+                pagecache.free(member.frame)
+                tree.ops.stats.tables_allocated -= 1
+    for frames in reserved.values():
+        while frames:
+            pagecache.free(frames.pop())
 
 
 def shrink_replication(

@@ -1,0 +1,205 @@
+"""Chaos harness: named fault-injection scenarios with a verifier verdict.
+
+Each scenario builds a small machine, installs a seeded
+:class:`~repro.inject.FaultPlan`, drives the replication path through the
+injected faults, and finishes with the replica-consistency verifier
+(:mod:`repro.inject.verify`). The whole run is deterministic in
+``(scenario, seed)`` — the same faults fire at the same call sites every
+time, which is what makes a chaos failure *reproducible*.
+
+Scenarios:
+
+``replication-oom``
+    Socket 1's page-table allocations fail transiently while a process
+    replicates onto {0, 1}: the request degrades to socket 0 (recorded as
+    a :class:`~repro.mitosis.degrade.DegradedState`), the daemon retries
+    with backoff, and once the fault clears the mask completes — the
+    degrade → retry → recover arc end-to-end.
+
+``shootdown-storm``
+    TLB shootdowns suffer delayed IPIs and dropped acks during an
+    mprotect/munmap storm over a replicated tree; the bounded-retry
+    protocol absorbs the drops.
+
+``swap-stall``
+    Swap I/O stalls intermittently while pages of a replicated process are
+    evicted and touched back in; leaf PTEs must stay consistent across
+    replicas through unmap/remap cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.inject.plan import FaultPlan, install_fault_plan
+from repro.inject.verify import VerifyReport, verify_kernel
+from repro.kernel.kernel import Kernel
+from repro.kernel.sysctl import MitosisMode, Sysctl
+from repro.machine.topology import Machine
+from repro.mitosis.daemon import MitosisDaemon
+from repro.sim.metrics import RunMetrics
+from repro.units import KIB, MIB
+
+SCENARIOS: tuple[str, ...] = ("replication-oom", "shootdown-storm", "swap-stall")
+
+#: Protection flag sets the shootdown storm toggles between.
+_PROT_RW = (1 << 1) | (1 << 2)  # writable | user
+_PROT_RO = 1 << 2  # user
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run observed, plus the verifier's verdict."""
+
+    scenario: str
+    seed: int
+    events: list[str] = field(default_factory=list)
+    faults_injected: int = 0
+    faults_by_site: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    reclaim_rescues: int = 0
+    degradations: int = 0
+    recoveries: int = 0
+    final_masks: dict[int, list[int]] = field(default_factory=dict)
+    verify: VerifyReport = field(default_factory=VerifyReport)
+
+    @property
+    def ok(self) -> bool:
+        return self.verify.ok
+
+    def render(self) -> str:
+        lines = [f"chaos scenario '{self.scenario}' (seed {self.seed})", ""]
+        lines.extend(f"  {event}" for event in self.events)
+        lines.append("")
+        lines.append(f"  faults injected : {self.faults_injected}")
+        for site, count in sorted(self.faults_by_site.items()):
+            lines.append(f"    {site:<28} {count}")
+        lines.append(f"  retries         : {self.retries}")
+        lines.append(f"  reclaim rescues : {self.reclaim_rescues}")
+        lines.append(f"  degradations    : {self.degradations}")
+        lines.append(f"  recoveries      : {self.recoveries}")
+        for pid, mask in sorted(self.final_masks.items()):
+            lines.append(f"  pid {pid} replica mask: {mask}")
+        lines.append("")
+        lines.append(f"  verifier: {self.verify.render()}")
+        return "\n".join(lines)
+
+
+def run_chaos(scenario: str, seed: int = 7) -> ChaosReport:
+    """Run one named scenario under a seeded fault plan; returns a report."""
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; choose from {SCENARIOS}")
+    runner = {
+        "replication-oom": _run_replication_oom,
+        "shootdown-storm": _run_shootdown_storm,
+        "swap-stall": _run_swap_stall,
+    }[scenario]
+    report = ChaosReport(scenario=scenario, seed=seed)
+    kernel, plan = runner(report, seed)
+    report.faults_injected = plan.stats.total
+    report.faults_by_site = dict(plan.stats.by_site)
+    report.retries = kernel.resilience.retries
+    report.reclaim_rescues = kernel.resilience.reclaim_rescues
+    report.degradations = kernel.resilience.degradations
+    report.recoveries = kernel.resilience.recoveries
+    for pid, process in sorted(kernel.processes.items()):
+        mask = process.mm.replication_mask
+        report.final_masks[pid] = sorted(mask) if mask else []
+        if process.mm.degraded is not None:
+            report.events.append(
+                f"pid {pid} still degraded: {process.mm.degraded.describe()}"
+            )
+    report.verify = verify_kernel(kernel)
+    return report
+
+
+def _build_kernel(sockets: int = 2) -> Kernel:
+    machine = Machine.homogeneous(
+        sockets, cores_per_socket=2, memory_per_socket=64 * MIB
+    )
+    return Kernel(
+        machine, sysctl=Sysctl(mitosis_mode=MitosisMode.PER_PROCESS)
+    )
+
+
+def _run_replication_oom(report: ChaosReport, seed: int) -> tuple[Kernel, FaultPlan]:
+    kernel = _build_kernel()
+    process = kernel.create_process("victim", socket=0)
+    process.add_thread(1)
+    kernel.sys_mmap(process, 2 * MIB, populate=True)
+
+    # Socket 1's page-table allocations fail 4 times, then recover:
+    # initial enable (fault 1), its reclaim-retry (fault 2), the daemon's
+    # first completion attempt (faults 3, 4) — the second attempt succeeds.
+    plan = FaultPlan(seed=seed)
+    plan.pagecache_oom(node=1, limit=4)
+    install_fault_plan(kernel, plan)
+
+    mask = frozenset({0, 1})
+    kernel.mitosis.set_replication_mask(process, mask)
+    state = process.mm.degraded
+    if state is None:
+        report.events.append("replication completed without degrading (unexpected)")
+    else:
+        report.events.append(f"enable degraded: {state.describe()}")
+
+    daemon = MitosisDaemon(manager=kernel.mitosis, process=process)
+    for epoch in range(8):
+        if process.mm.degraded is None:
+            break
+        daemon.observe(epoch, RunMetrics())
+    for decision in daemon.decisions:
+        report.events.append(f"epoch {decision.epoch}: [{decision.action}] {decision.detail}")
+    return kernel, plan
+
+
+def _run_shootdown_storm(report: ChaosReport, seed: int) -> tuple[Kernel, FaultPlan]:
+    kernel = _build_kernel()
+    process = kernel.create_process("stormy", socket=0)
+    process.add_thread(1)
+    va = kernel.sys_mmap(process, 1 * MIB, populate=True).value
+    kernel.mitosis.set_replication_mask(process, frozenset({0, 1}))
+
+    plan = FaultPlan(seed=seed)
+    plan.shootdown_delay(multiplier=8.0, probability=0.4)
+    plan.drop_acks(probability=0.3, limit=12)
+    install_fault_plan(kernel, plan)
+
+    for i in range(24):
+        prot = _PROT_RO if i % 2 == 0 else _PROT_RW
+        kernel.sys_mprotect(process, va, 64 * KIB, prot)
+    kernel.sys_munmap(process, va + 512 * KIB, 256 * KIB)
+
+    stats = kernel.shootdown.stats
+    report.events.append(
+        f"shootdown storm over: {stats.delayed} delayed IPI round(s), "
+        f"{stats.dropped_acks} dropped ack(s), {stats.ack_retries} "
+        f"re-IPI(s), {stats.ack_timeouts} timeout(s)"
+    )
+    return kernel, plan
+
+
+def _run_swap_stall(report: ChaosReport, seed: int) -> tuple[Kernel, FaultPlan]:
+    kernel = _build_kernel()
+    process = kernel.create_process("swappy", socket=0)
+    process.add_thread(1)
+    va = kernel.sys_mmap(process, 1 * MIB, populate=True).value
+    kernel.mitosis.set_replication_mask(process, frozenset({0, 1}))
+
+    plan = FaultPlan(seed=seed)
+    plan.swap_stall(probability=0.5)
+    install_fault_plan(kernel, plan)
+
+    evicted = kernel.swap.reclaim(process, target_pages=32)
+    swapped_vas = sorted(process.mm.swapped)
+    for slot_va in swapped_vas:
+        kernel.swap.swap_in(process, slot_va, socket=1)
+    kernel.touch(process, va, socket=1, is_write=True)
+
+    stats = kernel.swap.stats
+    report.events.append(
+        f"evicted {evicted} page(s), brought {len(swapped_vas)} back; "
+        f"{stats.io_stalls} injected I/O stall(s) cost "
+        f"{stats.stall_cycles:.0f} extra cycles"
+    )
+    return kernel, plan

@@ -167,8 +167,23 @@ class Simulator:
                 metrics.overhead_cycles += work.cycles()
                 metrics.overhead_cycles += kernel.shootdown.flush_all(kernel.cpu_contexts)
             if config.epoch_callback is not None and epoch < epochs - 1:
+                self._sync_robustness(metrics)
                 config.epoch_callback(epoch, metrics)
+        self._sync_robustness(metrics)
         return metrics
+
+    def _sync_robustness(self, metrics: RunMetrics) -> None:
+        """Mirror the kernel's fault-injection and resilience counters into
+        the run metrics (absolute values — idempotent)."""
+        kernel = self.kernel
+        plan = getattr(kernel, "fault_plan", None)
+        if plan is not None:
+            metrics.faults_injected = plan.stats.total
+        resilience = getattr(kernel, "resilience", None)
+        if resilience is not None:
+            metrics.degradations = resilience.degradations
+            metrics.retries = resilience.retries
+            metrics.recoveries = resilience.recoveries
 
     # -- hot loop ---------------------------------------------------------------
 

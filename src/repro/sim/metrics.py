@@ -52,6 +52,14 @@ class RunMetrics:
     init_cycles: float = 0.0
     #: Kernel background work during the run (AutoNUMA copies, shootdowns).
     overhead_cycles: float = 0.0
+    #: Faults fired by an installed :class:`repro.inject.FaultPlan`.
+    faults_injected: int = 0
+    #: Replications that had to shrink to a socket subset under pressure.
+    degradations: int = 0
+    #: Reclaim-then-retry attempts after a per-socket OOM.
+    retries: int = 0
+    #: Degraded masks later completed (by the daemon or a direct retry).
+    recoveries: int = 0
 
     @property
     def runtime_cycles(self) -> float:

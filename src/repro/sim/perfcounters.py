@@ -55,6 +55,12 @@ def perf_stat(metrics: RunMetrics) -> PerfReport:
             sum(t.walk_llc_hits for t in metrics.threads)
         ),
         "faults": float(sum(t.faults for t in metrics.threads)),
+        # Robustness counters (no hardware event — software counters, like
+        # perf's ``faults``/``migrations`` software events).
+        "mitosis.faults_injected": float(metrics.faults_injected),
+        "mitosis.degradations": float(metrics.degradations),
+        "mitosis.retries": float(metrics.retries),
+        "mitosis.recoveries": float(metrics.recoveries),
     }
     return PerfReport(counters=counters)
 

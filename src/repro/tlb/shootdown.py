@@ -6,17 +6,30 @@ simulator models the flush itself plus a fixed per-IPI cycle cost so
 shootdown-heavy operations (mprotect/munmap) carry their real overhead in
 the Table 5 micro-benchmarks — identically with and without Mitosis, as in
 the paper's design (replication changes PTE-write cost, not coherence).
+
+Shootdown cost and loss are also a first-class chaos variable (numaPTE
+motivates treating IPI cost as such): an installed
+:class:`repro.inject.plan.FaultPlan` can stretch an IPI round by a delay
+multiplier or drop its acknowledgements, in which case the sender re-sends
+the round up to :data:`MAX_ACK_RETRIES` times before giving up on the ack
+(the flush itself has already been applied — only latency is lost, which
+is exactly how a real kernel's csd-lock timeout behaves).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.inject.plan import SITE_SHOOTDOWN_DELAY, SITE_SHOOTDOWN_DROP
 from repro.tlb.mmu_cache import MmuCaches
 from repro.tlb.tlb import TlbHierarchy
 
 #: Rough cost of delivering and handling one shootdown IPI.
 IPI_CYCLES = 2000.0
+
+#: How many times a lost acknowledgement is re-sent before the sender
+#: proceeds without it (bounded retry — a shootdown can be slow, never hung).
+MAX_ACK_RETRIES = 3
 
 
 @dataclass
@@ -24,6 +37,14 @@ class ShootdownStats:
     shootdowns: int = 0
     ipis: int = 0
     cycles: float = 0.0
+    #: Rounds stretched by an injected IPI delay.
+    delayed: int = 0
+    #: Acknowledgements dropped by injection.
+    dropped_acks: int = 0
+    #: Re-send rounds caused by dropped acks.
+    ack_retries: int = 0
+    #: Rounds that exhausted :data:`MAX_ACK_RETRIES` and proceeded anyway.
+    ack_timeouts: int = 0
 
 
 @dataclass
@@ -31,6 +52,8 @@ class TlbShootdown:
     """Broadcast invalidations to a set of (tlb, mmu-cache) core contexts."""
 
     stats: ShootdownStats = field(default_factory=ShootdownStats)
+    #: Optional :class:`repro.inject.plan.FaultPlan` for delay/drop chaos.
+    fault_plan: object | None = field(default=None, repr=False)
 
     def flush_all(self, cores: list[tuple[TlbHierarchy, MmuCaches]]) -> float:
         """Global flush on every core context; returns cycles charged."""
@@ -50,5 +73,21 @@ class TlbShootdown:
         self.stats.shootdowns += 1
         self.stats.ipis += max(0, n_cores - 1)
         cycles = IPI_CYCLES * max(1, n_cores)
+        plan = self.fault_plan
+        if plan is not None:
+            rule = plan.fire(SITE_SHOOTDOWN_DELAY, cores=n_cores)
+            if rule is not None:
+                cycles *= max(1.0, rule.delay_multiplier)
+                self.stats.delayed += 1
+            retries = 0
+            while plan.fire(SITE_SHOOTDOWN_DROP, cores=n_cores, retry=retries) is not None:
+                self.stats.dropped_acks += 1
+                if retries >= MAX_ACK_RETRIES:
+                    self.stats.ack_timeouts += 1
+                    break
+                retries += 1
+                self.stats.ack_retries += 1
+                # One re-send round: every remote core gets its IPI again.
+                cycles += IPI_CYCLES * max(1, n_cores - 1)
         self.stats.cycles += cycles
         return cycles

@@ -1,0 +1,170 @@
+"""The central FaultPlan: triggers, filters, determinism, installation."""
+
+import pytest
+
+from repro.inject import (
+    ALL_SITES,
+    FaultPlan,
+    FaultRule,
+    SITE_ALLOCATOR_OOM,
+    SITE_PAGECACHE_REFILL,
+    SITE_SHOOTDOWN_DROP,
+    install_fault_plan,
+    uninstall_fault_plan,
+)
+
+
+class TestTriggers:
+    def test_default_fires_every_call(self):
+        plan = FaultPlan()
+        plan.oom_on_node(0)
+        assert all(
+            plan.fire(SITE_ALLOCATOR_OOM, node=0) is not None for _ in range(5)
+        )
+
+    def test_on_calls_fires_exactly_there(self):
+        plan = FaultPlan()
+        plan.oom_on_node(0, on_calls={2, 4})
+        fired = [
+            plan.fire(SITE_ALLOCATOR_OOM, node=0) is not None for _ in range(6)
+        ]
+        assert fired == [False, True, False, True, False, False]
+
+    def test_every_nth_call(self):
+        plan = FaultPlan()
+        plan.oom_on_node(0, every=3)
+        fired = [
+            plan.fire(SITE_ALLOCATOR_OOM, node=0) is not None for _ in range(9)
+        ]
+        assert fired == [False, False, True] * 3
+
+    def test_limit_makes_fault_transient(self):
+        plan = FaultPlan()
+        rule = plan.oom_on_node(0, limit=2)
+        fired = [
+            plan.fire(SITE_ALLOCATOR_OOM, node=0) is not None for _ in range(5)
+        ]
+        assert fired == [True, True, False, False, False]
+        assert rule.exhausted
+
+    def test_probability_is_seed_deterministic(self):
+        def sequence(seed):
+            plan = FaultPlan(seed=seed)
+            plan.oom_on_node(0, probability=0.5)
+            return [
+                plan.fire(SITE_ALLOCATOR_OOM, node=0) is not None
+                for _ in range(64)
+            ]
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)
+        assert any(sequence(7)) and not all(sequence(7))
+
+
+class TestFilters:
+    def test_node_filter(self):
+        plan = FaultPlan()
+        plan.oom_on_node(1)
+        assert plan.fire(SITE_ALLOCATOR_OOM, node=0) is None
+        assert plan.fire(SITE_ALLOCATOR_OOM, node=1) is not None
+
+    def test_site_isolation(self):
+        plan = FaultPlan()
+        plan.pagecache_oom(node=0)
+        assert plan.fire(SITE_ALLOCATOR_OOM, node=0) is None
+        assert plan.fire(SITE_PAGECACHE_REFILL, node=0) is not None
+
+    def test_predicate_filter(self):
+        plan = FaultPlan()
+        plan.add(
+            FaultRule(
+                site=SITE_SHOOTDOWN_DROP,
+                predicate=lambda ctx: ctx.get("cores", 0) > 2,
+            )
+        )
+        assert plan.fire(SITE_SHOOTDOWN_DROP, cores=1) is None
+        assert plan.fire(SITE_SHOOTDOWN_DROP, cores=4) is not None
+
+    def test_filtered_calls_do_not_advance_trigger(self):
+        plan = FaultPlan()
+        plan.oom_on_node(1, on_calls={1})
+        plan.fire(SITE_ALLOCATOR_OOM, node=0)  # filtered out: not call #1
+        assert plan.fire(SITE_ALLOCATOR_OOM, node=1) is not None
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan()
+        first = plan.oom_on_node(0, limit=1)
+        second = plan.oom_on_node(0)
+        plan.fire(SITE_ALLOCATOR_OOM, node=0)
+        assert (first.fired, second.fired) == (1, 0)
+        plan.fire(SITE_ALLOCATOR_OOM, node=0)  # first exhausted -> second
+        assert (first.fired, second.fired) == (1, 1)
+
+
+class TestPlanBookkeeping:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="no.such.site")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site=SITE_ALLOCATOR_OOM, probability=1.5)
+
+    def test_bad_every_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(site=SITE_ALLOCATOR_OOM, every=0)
+
+    def test_disabled_plan_never_fires(self):
+        plan = FaultPlan()
+        plan.oom_on_node(0)
+        plan.enabled = False
+        assert plan.fire(SITE_ALLOCATOR_OOM, node=0) is None
+        assert plan.stats.total == 0
+
+    def test_stats_and_log(self):
+        plan = FaultPlan()
+        plan.oom_on_node(0, limit=2)
+        plan.pagecache_oom(node=1, limit=1)
+        for _ in range(3):
+            plan.fire(SITE_ALLOCATOR_OOM, node=0)
+        plan.fire(SITE_PAGECACHE_REFILL, node=1)
+        assert plan.stats.total == 3
+        assert plan.stats.by_site == {
+            SITE_ALLOCATOR_OOM: 2,
+            SITE_PAGECACHE_REFILL: 1,
+        }
+        assert [fault.seq for fault in plan.log] == [1, 2, 3]
+        assert plan.log[-1].site == SITE_PAGECACHE_REFILL
+
+    def test_all_sites_covered_by_convenience_constructors(self):
+        plan = FaultPlan()
+        plan.oom_on_node(0)
+        plan.pagecache_oom()
+        plan.shootdown_delay(multiplier=4.0)
+        plan.drop_acks()
+        plan.swap_stall()
+        assert {rule.site for rule in plan.rules} == set(ALL_SITES)
+
+
+class TestInstallation:
+    def test_install_threads_plan_through_all_layers(self, kernel2):
+        plan = FaultPlan(seed=3)
+        install_fault_plan(kernel2, plan)
+        assert kernel2.fault_plan is plan
+        assert kernel2.pagecache.fault_plan is plan
+        assert kernel2.shootdown.fault_plan is plan
+        assert kernel2.swap.fault_plan is plan
+        assert all(
+            alloc.fault_plan is plan for alloc in kernel2.physmem._allocators
+        )
+
+    def test_uninstall_detaches_everywhere(self, kernel2):
+        install_fault_plan(kernel2, FaultPlan())
+        uninstall_fault_plan(kernel2)
+        assert kernel2.fault_plan is None
+        assert kernel2.pagecache.fault_plan is None
+        assert kernel2.shootdown.fault_plan is None
+        assert kernel2.swap.fault_plan is None
+        assert all(
+            alloc.fault_plan is None for alloc in kernel2.physmem._allocators
+        )

@@ -104,3 +104,59 @@ class TestSocketListParsing:
         for bad in ("x", "1-", "3-1", "1,,2-"):
             with pytest.raises(ReplicationError):
                 parse_socket_list(bad)
+
+
+class TestValidationHoisting:
+    """All mask validation happens before any mutation: an invalid request
+    leaves the tree, the published mask and the degraded state untouched."""
+
+    @staticmethod
+    def _state(proc):
+        tree = proc.mm.tree
+        return (
+            set(tree.registry),
+            {pfn: page.frame.replica_next for pfn, page in tree.registry.items()},
+            proc.mm.replication_mask,
+            proc.mm.degraded,
+            tree.ops,
+        )
+
+    def test_unknown_socket_never_mutates_native_tree(self, kernel4, proc):
+        from repro.errors import TopologyError
+
+        before = self._state(proc)
+        with pytest.raises(TopologyError):
+            kernel4.mitosis.set_replication_mask(proc, frozenset({0, 9}))
+        assert self._state(proc) == before
+
+    def test_unknown_socket_never_mutates_replicated_tree(self, kernel4, proc):
+        from repro.errors import TopologyError
+
+        kernel4.mitosis.set_replication_mask(proc, frozenset({0, 1}))
+        before = self._state(proc)
+        with pytest.raises(TopologyError):
+            kernel4.mitosis.set_replication_mask(proc, frozenset({1, 9}))
+        assert self._state(proc) == before
+        assert replica_sockets(proc.mm.tree) == frozenset({0, 1})
+
+    def test_bad_mask_string_rejected_before_mutation(self, kernel4, proc):
+        before = self._state(proc)
+        with pytest.raises(ReplicationError):
+            kernel4.mitosis.set_replication_mask(proc, "0,x")
+        assert self._state(proc) == before
+
+    def test_sysctl_off_rejected_before_mutation(self, kernel4, proc):
+        kernel4.sysctl.mitosis_mode = MitosisMode.OFF
+        before = self._state(proc)
+        with pytest.raises(ReplicationError):
+            kernel4.mitosis.set_replication_mask(proc, frozenset({0, 1}))
+        assert self._state(proc) == before
+
+    def test_clear_path_allowed_while_sysctl_off(self, kernel4, proc):
+        """Disabling Mitosis system-wide must not strand existing replicas:
+        the clear path stays available."""
+        kernel4.mitosis.set_replication_mask(proc, frozenset({0, 1}))
+        kernel4.sysctl.mitosis_mode = MitosisMode.OFF
+        kernel4.mitosis.set_replication_mask(proc, None)
+        assert proc.mm.replication_mask is None
+        assert replica_sockets(proc.mm.tree) == frozenset({0})

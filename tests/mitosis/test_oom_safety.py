@@ -98,3 +98,150 @@ class TestOomSafety:
         from repro.mitosis.replication import replica_sockets
 
         assert replica_sockets(tree) == frozenset({0, 1})
+
+
+@pytest.fixture
+def healthy():
+    """Both sockets have plenty of memory; failures come from monkeypatches."""
+    machine = Machine(sockets=(Socket(0, 1, 32 * MIB), Socket(1, 1, 32 * MIB)))
+    physmem = PhysicalMemory(machine)
+    cache = PageTablePageCache(physmem)
+    tree = PageTableTree(NativePagingOps(cache, pt_policy=FixedNodePolicy(0)))
+    for i in range(32):
+        tree.map_page(i * PAGE_SIZE, physmem.alloc_frame(0).pfn, FLAGS)
+    return physmem, cache, tree
+
+
+def snapshot(physmem, tree):
+    return {
+        "mappings": dict(tree.iter_mappings()),
+        "tables": tree.total_table_count(),
+        "registry": set(tree.registry),
+        "rings": {pfn: page.frame.replica_next for pfn, page in tree.registry.items()},
+        "ops": tree.ops,
+        "pt_bytes": physmem.page_table_bytes(),
+        "used": tuple(physmem.stats(n).used_frames for n in (0, 1)),
+    }
+
+
+def assert_restored(physmem, tree, before):
+    assert dict(tree.iter_mappings()) == before["mappings"]
+    assert tree.total_table_count() == before["tables"]
+    assert set(tree.registry) == before["registry"]
+    assert {
+        pfn: page.frame.replica_next for pfn, page in tree.registry.items()
+    } == before["rings"]
+    assert tree.ops is before["ops"]
+    assert physmem.page_table_bytes() == before["pt_bytes"]
+    assert tuple(physmem.stats(n).used_frames for n in (0, 1)) == before["used"]
+
+
+class TestMidWalkRollback:
+    """Regression: a failure *after* the pass-0 reservation — while linking
+    rings (pass 1) or filling entries (pass 2) — must also unwind fully."""
+
+    def test_pass1_link_failure_rolls_back(self, healthy, monkeypatch):
+        physmem, cache, tree = healthy
+        before = snapshot(physmem, tree)
+        import repro.mitosis.replication as replication
+
+        real_link = replication.link_ring
+        calls = {"n": 0}
+
+        def flaky_link(pages):
+            calls["n"] += 1
+            if calls["n"] == 3:  # fail mid-walk, after two rings were built
+                raise OutOfMemoryError(1, PAGE_SIZE, "injected mid-walk failure")
+            real_link(pages)
+
+        monkeypatch.setattr(replication, "link_ring", flaky_link)
+        with pytest.raises(OutOfMemoryError):
+            enable_replication(tree, cache, frozenset({0, 1}))
+        assert_restored(physmem, tree, before)
+
+    def test_pass2_write_failure_rolls_back(self, healthy, monkeypatch):
+        physmem, cache, tree = healthy
+        before = snapshot(physmem, tree)
+        from repro.paging.pagetable import PagingOps
+
+        real_write = PagingOps.apply_entry_write
+        calls = {"n": 0}
+
+        def flaky_write(page, index, value):
+            calls["n"] += 1
+            if calls["n"] == 5:  # fail while filling the new copies
+                raise RuntimeError("injected pass-2 failure")
+            return real_write(page, index, value)
+
+        monkeypatch.setattr(PagingOps, "apply_entry_write", staticmethod(flaky_write))
+        with pytest.raises(RuntimeError):
+            enable_replication(tree, cache, frozenset({0, 1}))
+        assert_restored(physmem, tree, before)
+
+    def test_tree_functional_and_consistent_after_rollback(self, healthy, monkeypatch):
+        physmem, cache, tree = healthy
+        import repro.mitosis.replication as replication
+
+        real_link = replication.link_ring
+        calls = {"n": 0}
+
+        def flaky_link(pages):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OutOfMemoryError(1, PAGE_SIZE, "injected")
+            real_link(pages)
+
+        monkeypatch.setattr(replication, "link_ring", flaky_link)
+        with pytest.raises(OutOfMemoryError):
+            enable_replication(tree, cache, frozenset({0, 1}))
+        monkeypatch.setattr(replication, "link_ring", real_link)
+
+        from repro.inject import verify_tree
+
+        assert verify_tree(tree).ok
+        pfn = physmem.alloc_frame(0).pfn
+        tree.map_page(0x200000, pfn, FLAGS)
+        assert tree.translate(0x200000).pfn == pfn
+        # And the full replication still succeeds now that the fault is gone.
+        enable_replication(tree, cache, frozenset({0, 1}))
+        assert verify_tree(tree).ok
+
+    def test_extension_rollback_preserves_existing_replicas(self, monkeypatch):
+        """Failing to extend {0,1} -> {0,1,2} must keep the {0,1} rings."""
+        machine = Machine(
+            sockets=tuple(Socket(i, 1, 32 * MIB) for i in range(3))
+        )
+        physmem = PhysicalMemory(machine)
+        cache = PageTablePageCache(physmem)
+        tree = PageTableTree(NativePagingOps(cache, pt_policy=FixedNodePolicy(0)))
+        for i in range(32):
+            tree.map_page(i * PAGE_SIZE, physmem.alloc_frame(0).pfn, FLAGS)
+        enable_replication(tree, cache, frozenset({0, 1}))
+        before = snapshot(physmem, tree)
+
+        from repro.paging.pagetable import PagingOps
+
+        real_write = PagingOps.apply_entry_write
+        calls = {"n": 0}
+
+        def flaky_write(page, index, value):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected extension failure")
+            return real_write(page, index, value)
+
+        monkeypatch.setattr(PagingOps, "apply_entry_write", staticmethod(flaky_write))
+        with pytest.raises(RuntimeError):
+            enable_replication(tree, cache, frozenset({0, 1, 2}))
+        monkeypatch.setattr(PagingOps, "apply_entry_write", staticmethod(real_write))
+
+        assert dict(tree.iter_mappings()) == before["mappings"]
+        assert set(tree.registry) == before["registry"]
+        assert {
+            pfn: page.frame.replica_next for pfn, page in tree.registry.items()
+        } == before["rings"]
+        from repro.inject import verify_tree
+        from repro.mitosis.replication import replica_sockets
+
+        assert replica_sockets(tree) == frozenset({0, 1})
+        assert verify_tree(tree).ok

@@ -119,3 +119,72 @@ class TestReclaim:
         free = kernel2.physmem.stats(1).free_frames
         reclaim_replicas(kernel2, node=1, target_free_frames=free + 1)
         assert process.mm.replication_mask is None
+
+
+class TestReclaimPressure:
+    """Multi-process reclamation order (§5.5): insurance replicas go first,
+    performance-bearing copies only under ``aggressive=True``, and a ring's
+    primary is never freed."""
+
+    HUGE = 10**9  # a target no amount of reclaim can satisfy: shrink all
+
+    def _mapped_proc(self, kernel, name, socket=0):
+        process = kernel.create_process(name, socket=socket)
+        kernel.sys_mmap(process, 256 * 1024, populate=True)
+        return process
+
+    def test_multiple_processes_shrunk_on_one_node(self, kernel4):
+        procs = [self._mapped_proc(kernel4, f"app{i}") for i in range(3)]
+        for process in procs:
+            kernel4.mitosis.set_replication_mask(process, frozenset({0, 1}))
+        report = reclaim_replicas(kernel4, 1, target_free_frames=self.HUGE)
+        assert sorted(report.processes_shrunk) == sorted(p.pid for p in procs)
+        for process in procs:
+            assert replica_sockets(process.mm.tree) == frozenset({0})
+            assert process.mm.replication_mask is None
+
+    def test_aggressive_shrinks_insurance_before_performance_bearing(self, kernel4):
+        insurance = self._mapped_proc(kernel4, "insurance")  # runs on 0 only
+        bearing = self._mapped_proc(kernel4, "bearing")
+        bearing.add_thread(1)  # actually runs on socket 1
+        for process in (insurance, bearing):
+            kernel4.mitosis.set_replication_mask(process, frozenset({0, 1}))
+        report = reclaim_replicas(
+            kernel4, 1, target_free_frames=self.HUGE, aggressive=True
+        )
+        assert report.processes_shrunk == [insurance.pid, bearing.pid]
+
+    def test_non_aggressive_spares_performance_bearing_copies(self, kernel4):
+        insurance = self._mapped_proc(kernel4, "insurance")
+        bearing = self._mapped_proc(kernel4, "bearing")
+        bearing.add_thread(1)
+        for process in (insurance, bearing):
+            kernel4.mitosis.set_replication_mask(process, frozenset({0, 1}))
+        report = reclaim_replicas(kernel4, 1, target_free_frames=self.HUGE)
+        assert report.processes_shrunk == [insurance.pid]
+        assert replica_sockets(bearing.mm.tree) == frozenset({0, 1})
+        assert bearing.mm.replication_mask == frozenset({0, 1})
+
+    def test_primary_copies_never_freed(self, kernel4):
+        rooted_here = self._mapped_proc(kernel4, "rooted", socket=1)
+        kernel4.mitosis.set_replication_mask(rooted_here, frozenset({0, 1}))
+        assert rooted_here.mm.tree.root.node == 1
+        report = reclaim_replicas(
+            kernel4, 1, target_free_frames=self.HUGE, aggressive=True
+        )
+        assert rooted_here.pid not in report.processes_shrunk
+        assert replica_sockets(rooted_here.mm.tree) == frozenset({0, 1})
+
+    def test_every_ring_keeps_exactly_one_primary(self, kernel4):
+        from repro.mitosis.ring import ring_members
+
+        procs = [self._mapped_proc(kernel4, f"app{i}") for i in range(2)]
+        for process in procs:
+            kernel4.mitosis.replicate_on_all_sockets(process)
+        reclaim_replicas(kernel4, 2, target_free_frames=self.HUGE, aggressive=True)
+        for process in procs:
+            tree = process.mm.tree
+            for primary in tree.iter_tables():
+                members = ring_members(tree, primary)
+                assert sum(1 for m in members if m.primary is None) == 1
+                assert all(m.node != 2 for m in members)

@@ -111,3 +111,45 @@ class TestMultiThread:
         p, w, va = build(kernel2, pt_socket=0, data_socket=0)
         run(kernel2, p, w, va, accesses=100)
         assert len(kernel2.cpu_contexts) == 1
+
+
+class TestRobustnessSync:
+    def test_chaos_run_syncs_counters_and_daemon_recovers(self, kernel2):
+        """Full-stack arc: injected per-socket OOM degrades replication,
+        the daemon (as epoch callback) completes the mask mid-run, and the
+        engine mirrors fault/resilience counters into the metrics."""
+        from repro.inject import FaultPlan, install_fault_plan, verify_kernel
+        from repro.mitosis.daemon import MitosisDaemon
+
+        process = kernel2.create_process("chaotic", socket=0)
+        process.add_thread(1)
+        workload = create("gups", footprint=4 * MIB)
+        va = kernel2.sys_mmap(process, 4 * MIB, populate=True).value
+
+        plan = FaultPlan(seed=7)
+        plan.pagecache_oom(node=1, limit=2)
+        install_fault_plan(kernel2, plan)
+        kernel2.mitosis.set_replication_mask(process, frozenset({0, 1}))
+        assert process.mm.degraded is not None  # faults 1+2 degraded it
+
+        daemon = MitosisDaemon(manager=kernel2.mitosis, process=process)
+        config = EngineConfig(
+            accesses_per_thread=1200, epochs=3, epoch_callback=daemon.callback()
+        )
+        metrics = Simulator(kernel2, config).run(process, workload, [0, 1], va)
+
+        assert process.mm.degraded is None
+        assert process.mm.replication_mask == frozenset({0, 1})
+        assert "complete-mask" in [d.action for d in daemon.decisions]
+        assert metrics.faults_injected == 2
+        assert metrics.degradations == 1
+        assert metrics.retries == 1
+        assert metrics.recoveries == 1
+        report = verify_kernel(kernel2)
+        assert report.ok, report.render()
+
+    def test_counters_zero_without_plan(self, kernel2):
+        p, w, va = build(kernel2, pt_socket=0, data_socket=0)
+        metrics = run(kernel2, p, w, va, accesses=200)
+        assert metrics.faults_injected == 0
+        assert metrics.degradations == 0

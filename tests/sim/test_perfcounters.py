@@ -72,3 +72,20 @@ class TestRealRunIntegration:
             report["dtlb_misses.miss_causes_a_walk"] + report["dtlb_misses.stlb_hit"]
             == 2000
         )
+
+
+class TestRobustnessCounters:
+    def test_mitosis_software_counters_reported(self):
+        metrics = RunMetrics(
+            faults_injected=5, degradations=1, retries=3, recoveries=1
+        )
+        report = perf_stat(metrics)
+        assert report["mitosis.faults_injected"] == 5
+        assert report["mitosis.degradations"] == 1
+        assert report["mitosis.retries"] == 3
+        assert report["mitosis.recoveries"] == 1
+
+    def test_robustness_counters_default_zero(self):
+        report = perf_stat(RunMetrics())
+        assert report["mitosis.faults_injected"] == 0
+        assert report["mitosis.degradations"] == 0

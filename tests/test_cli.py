@@ -100,3 +100,32 @@ class TestAnalysisCommands:
         code, out, _ = run(capsys, "table4")
         assert code == 0
         assert "1.231" in out and "16.00 TiB" in out
+
+
+class TestChaos:
+    def test_default_scenario_degrades_recovers_and_verifies(self, capsys):
+        code, out, _ = run(capsys, "chaos", "--seed", "7")
+        assert code == 0
+        assert "enable degraded" in out
+        assert "complete-mask" in out
+        assert "degradations    : 1" in out
+        assert "recoveries      : 1" in out
+        assert "verifier: OK" in out
+
+    @pytest.mark.parametrize(
+        "scenario", ["replication-oom", "shootdown-storm", "swap-stall"]
+    )
+    def test_every_scenario_exits_clean(self, capsys, scenario):
+        code, out, _ = run(capsys, "chaos", "--scenario", scenario, "--seed", "11")
+        assert code == 0
+        assert "verifier: OK" in out
+        assert "faults injected" in out
+
+    def test_same_seed_same_report(self, capsys):
+        _, first, _ = run(capsys, "chaos", "--seed", "21")
+        _, second, _ = run(capsys, "chaos", "--seed", "21")
+        assert first == second
+
+    def test_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run(capsys, "chaos", "--scenario", "split-brain")

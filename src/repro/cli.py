@@ -13,6 +13,7 @@ sub-commands for the two experiment harnesses and the analysis tools.
     python -m repro scenario multisocket canneal F+M --thp
     python -m repro dump memcached
     python -m repro table4
+    python -m repro lint --format json
 """
 
 from __future__ import annotations
@@ -91,6 +92,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="which chaos scenario to run",
     )
     chaos.add_argument("--seed", type=int, default=7, help="fault-plan seed")
+    chaos.add_argument(
+        "--pte-sanitizer", action="store_true",
+        help="guard every PTE store with the runtime sanitizer "
+        "(also enabled by REPRO_PTE_SANITIZER=1)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: PV-Ops / determinism / fault-site invariants",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt",
+        help="report format",
+    )
+    lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule subset (e.g. PVOPS001,DET001)",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: lint-baseline.json at the repo root)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="strict mode: ignore the baseline, every finding counts",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
     return parser
 
 
@@ -162,9 +197,62 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    report = run_chaos(args.scenario, seed=args.seed)
+    from repro.lint.sanitizer import PTESanitizer, env_enabled
+
+    sanitizer = None
+    if args.pte_sanitizer or env_enabled():
+        sanitizer = PTESanitizer().install()
+    try:
+        report = run_chaos(args.scenario, seed=args.seed)
+    finally:
+        if sanitizer is not None:
+            sanitizer.uninstall()
     print(report.render())
+    if sanitizer is not None:
+        print(f"  {sanitizer.summary()}")
     return 0 if report.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        filter_baseline,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+    from repro.lint.baseline import default_baseline_path
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        import repro
+
+        paths = [Path(repro.__file__).resolve().parent]
+    rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
+    try:
+        result = lint_paths(paths, rules=rules)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline_path()
+    if args.write_baseline:
+        write_baseline(result.findings, baseline_path)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+    new_findings = result.findings
+    if not args.no_baseline and baseline_path.exists():
+        new_findings = filter_baseline(result.findings, load_baseline(baseline_path))
+    render = render_json if args.fmt == "json" else render_text
+    print(render(result, new_findings))
+    return 1 if new_findings else 0
 
 
 def _cmd_dump(args: argparse.Namespace) -> int:
@@ -183,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_dump(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "table4":
         print(render_table4())
         return 0

@@ -55,3 +55,23 @@ class ReplicationError(ReproError):
 
 class TopologyError(ReproError):
     """Reference to a socket/core/node that does not exist on the machine."""
+
+
+class PTEWriteBypassError(ReproError):
+    """A page-table entry store bypassed the PV-Ops choke point.
+
+    Raised by :class:`repro.lint.sanitizer.PTESanitizer` (debug mode) when
+    a store into ``PageTablePage.entries`` does not originate inside
+    ``PagingOps.apply_entry_write`` or a hardware walker — the runtime
+    twin of the ``PVOPS001`` static rule.
+    """
+
+    def __init__(self, index: int, value: int, writer: str, message: str | None = None):
+        self.index = index
+        self.value = value
+        self.writer = writer
+        super().__init__(
+            message
+            or f"PTE store entries[{index}] = 0x{value:x} from {writer} "
+            "bypasses PagingOps.apply_entry_write (replication coherence)"
+        )

@@ -55,7 +55,7 @@ class NativePagingOps(PagingOps):
         return page.entries[index]
 
     def clear_ad_bits(self, tree: PageTableTree, page: PageTablePage, index: int) -> None:
-        page.entries[index] &= ~PTE_AD_BITS
+        self.apply_entry_write(page, index, page.entries[index] & ~PTE_AD_BITS)
         self.stats.pte_writes += 1
 
     def root_pfn_for_socket(self, tree: PageTableTree, socket: int) -> int:

@@ -1,0 +1,55 @@
+"""``repro.lint`` — static analysis + runtime sanitizer for simulator invariants.
+
+Mitosis's correctness rests on one contract: *every* page-table store flows
+through the PV-Ops indirection (paper §5.2, Listing 1) so all physical
+replicas stay coherent. PR 1 added a second contract: same seed, same
+faults. Neither was defended by tooling — only by docstring convention.
+This package is that tooling, in two halves:
+
+* **static**: an AST-based analyzer (:mod:`repro.lint.core`) with named
+  rules — ``PVOPS001``/``PVOPS002`` (PV-Ops bypasses),
+  ``DET001``/``DET002`` (reproducibility hazards) and ``FAULT001``
+  (unregistered fault-injection sites) — run via
+  ``python -m repro.cli lint`` and gated in CI against a committed
+  baseline (:mod:`repro.lint.baseline`);
+* **dynamic**: :class:`repro.lint.sanitizer.PTESanitizer`, a debug-mode
+  guard around :class:`~repro.paging.pagetable.PageTablePage` entries
+  that records writer provenance and raises on any store that does not
+  originate inside ``apply_entry_write`` (or a hardware walker).
+
+See ``docs/static-analysis.md`` for the rule catalogue and the
+suppression policy (``# lint: allow[RULE] -- justification``).
+"""
+
+from repro.lint.baseline import (
+    filter_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.core import (
+    ALL_RULES,
+    Finding,
+    LintResult,
+    Rule,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    rule_names,
+)
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "filter_baseline",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule_names",
+    "write_baseline",
+]

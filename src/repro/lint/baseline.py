@@ -1,0 +1,83 @@
+"""Committed lint baselines.
+
+A baseline freezes the *deliberately-allowed* findings of a given commit
+so CI fails only on **new** violations. Fingerprints are
+``(rule, path, stripped source line)`` — stable across line-number drift
+from unrelated edits — and counted, so adding a second identical
+violation in the same file still fails.
+
+Workflow:
+
+* ``python -m repro.cli lint`` — findings matching
+  ``lint-baseline.json`` are filtered out (and reported as "baselined");
+* ``python -m repro.cli lint --no-baseline`` — strict mode, everything
+  counts;
+* ``python -m repro.cli lint --write-baseline`` — regenerate the file
+  after reviewing that every remaining finding is genuinely intended.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def default_baseline_path() -> Path:
+    """``lint-baseline.json`` at the repo root (two levels above the
+    installed ``repro`` package when running from a src layout)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2] / DEFAULT_BASELINE_NAME
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint multiset from a baseline file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    counts: Counter = Counter()
+    for entry in data.get("entries", []):
+        key = (entry["rule"], entry["path"], entry.get("context", ""))
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def filter_baseline(findings: list[Finding], baseline: Counter) -> list[Finding]:
+    """Findings not covered by ``baseline`` (respecting multiplicity)."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    return new
+
+
+def write_baseline(findings: list[Finding], path: Path) -> None:
+    """Serialise ``findings`` as the new baseline at ``path``."""
+    counts: Counter = Counter(f.fingerprint() for f in findings)
+    entries = [
+        {"rule": rule, "path": fpath, "context": context, "count": count}
+        for (rule, fpath, context), count in sorted(counts.items())
+    ]
+    document = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Deliberately-allowed lint findings, frozen so CI fails only on "
+            "new violations. Regenerate with "
+            "'python -m repro.cli lint --write-baseline' after review; see "
+            "docs/static-analysis.md."
+        ),
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")

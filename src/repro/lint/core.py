@@ -1,0 +1,342 @@
+"""Visitor core of the ``repro.lint`` static analyzer.
+
+The machinery here is deliberately small: a :class:`Rule` is an
+:class:`ast.NodeVisitor` with a class/function scope stack and a
+``report()`` helper; a module-level registry maps rule names
+(``PVOPS001``, ``DET001``, ...) to rule classes; :func:`lint_source` runs
+every requested rule over one parsed module and then applies per-line
+suppressions.
+
+Suppressions are comments of the form::
+
+    page.entries[i] = v  # lint: allow[PVOPS001] -- hardware A/D write, no PV-Ops by design
+
+The justification after ``--`` is **required**: an allow-comment without
+one does not suppress anything and is itself reported as ``LINT000``.  A
+suppression on its own comment line applies to the next code line, so
+long statements can keep their annotation above them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Meta-rule name for malformed suppressions (missing justification).
+META_RULE = "LINT000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*allow\[(?P<rules>[A-Za-z0-9_,\s]+)\]"
+    r"(?:\s*--\s*(?P<why>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative posix path when resolvable, else as given
+    line: int  # 1-based
+    col: int  # 0-based, as ast reports it
+    message: str
+    #: The stripped source line — the stable part of a baseline fingerprint
+    #: (survives line-number drift from unrelated edits).
+    context: str = ""
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class LintResult:
+    """Findings from one lint run plus per-file bookkeeping."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+
+    def sorted_findings(self) -> list[Finding]:
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules: scope tracking + finding collection.
+
+    Subclasses set ``name``/``description`` and implement ``visit_*``
+    handlers. Handlers that override :meth:`visit_ClassDef` or
+    :meth:`visit_FunctionDef` must call ``super()`` so the scope stacks
+    stay correct.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def __init__(self, module: str, path: str, source_lines: list[str]):
+        self.module = module  # dotted module name, e.g. "repro.kernel.pvops"
+        self.path = path
+        self.source_lines = source_lines
+        self.findings: list[Finding] = []
+        self.class_stack: list[str] = []
+        self.func_stack: list[str] = []
+
+    # -- scope tracking ------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    @property
+    def current_function(self) -> str | None:
+        return self.func_stack[-1] if self.func_stack else None
+
+    @property
+    def current_class(self) -> str | None:
+        return self.class_stack[-1] if self.class_stack else None
+
+    def qualname(self) -> str:
+        return ".".join(self.class_stack + self.func_stack) or "<module>"
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        context = ""
+        if 1 <= line <= len(self.source_lines):
+            context = self.source_lines[line - 1].strip()
+        self.findings.append(
+            Finding(
+                rule=self.name,
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                context=context,
+            )
+        )
+
+
+#: name -> rule class. Populated by :func:`register_rule`.
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.name in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name}")
+    RULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+# -- suppressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Allow:
+    rules: frozenset[str]
+    justified: bool
+    standalone: bool  # the whole line is the comment
+
+
+def _parse_allows(source_lines: list[str]) -> dict[int, _Allow]:
+    """line (1-based) -> allow-comment found on that line."""
+    allows: dict[int, _Allow] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        why = (match.group("why") or "").strip()
+        allows[lineno] = _Allow(
+            rules=rules,
+            justified=bool(why),
+            standalone=text.strip().startswith("#"),
+        )
+    return allows
+
+
+def _apply_suppressions(
+    findings: list[Finding], source_lines: list[str], path: str
+) -> list[Finding]:
+    """Drop findings covered by a justified allow-comment on the same line
+    or on a standalone comment line directly above; report unjustified
+    allow-comments as ``LINT000``."""
+    allows = _parse_allows(source_lines)
+    kept: list[Finding] = []
+    for finding in findings:
+        suppressed = False
+        for lineno in (finding.line, finding.line - 1):
+            allow = allows.get(lineno)
+            if allow is None or finding.rule not in allow.rules:
+                continue
+            if lineno == finding.line - 1 and not allow.standalone:
+                continue  # trailing comment of the previous statement
+            if allow.justified:
+                suppressed = True
+            break
+        if not suppressed:
+            kept.append(finding)
+    for lineno, allow in sorted(allows.items()):
+        if not allow.justified:
+            kept.append(
+                Finding(
+                    rule=META_RULE,
+                    path=path,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        "suppression without justification: write "
+                        "'# lint: allow[RULE] -- <why this site is exempt>'"
+                    ),
+                    context=source_lines[lineno - 1].strip(),
+                )
+            )
+    return kept
+
+
+# -- running ------------------------------------------------------------------
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name for ``path``, anchored at a ``repro`` component."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for anchor in range(len(parts) - 1, -1, -1):
+        if parts[anchor] == "repro":
+            return ".".join(parts[anchor:])
+    return ".".join(parts[-1:]) or "<unknown>"
+
+
+def _display_path(path: Path) -> str:
+    """Stable, repo-relative-ish posix path for reports and baselines."""
+    resolved = path.resolve()
+    for anchor in ("src", "tests"):
+        try:
+            index = resolved.parts.index(anchor)
+        except ValueError:
+            continue
+        return "/".join(resolved.parts[index:])
+    return path.as_posix()
+
+
+def resolve_rules(names: Iterable[str] | None = None) -> tuple[type[Rule], ...]:
+    """Rule classes for ``names`` (all registered rules when ``None``)."""
+    if names is None:
+        return tuple(RULE_REGISTRY[n] for n in sorted(RULE_REGISTRY))
+    missing = sorted(set(names) - set(RULE_REGISTRY))
+    if missing:
+        known = ", ".join(sorted(RULE_REGISTRY))
+        raise KeyError(f"unknown rule(s) {', '.join(missing)}; known: {known}")
+    return tuple(RULE_REGISTRY[n] for n in sorted(set(names)))
+
+
+def rule_names() -> tuple[str, ...]:
+    return tuple(sorted(RULE_REGISTRY))
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    rules: Iterable[str] | None = None,
+) -> LintResult:
+    """Run rules over one source string (the test-fixture entry point)."""
+    rule_classes = resolve_rules(rules)
+    source_lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return LintResult(
+            findings=[
+                Finding(
+                    rule=META_RULE,
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ],
+            files_checked=1,
+            rules_run=tuple(cls.name for cls in rule_classes),
+        )
+    if module is None:
+        module = _module_name(Path(path)) if path != "<string>" else "<string>"
+    findings: list[Finding] = []
+    for cls in rule_classes:
+        rule = cls(module=module, path=path, source_lines=source_lines)
+        rule.visit(tree)
+        findings.extend(rule.findings)
+    findings = _apply_suppressions(findings, source_lines, path)
+    return LintResult(
+        findings=findings,
+        files_checked=1,
+        rules_run=tuple(cls.name for cls in rule_classes),
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            seen.extend(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            seen.append(path)
+    yield from sorted(set(seen))
+
+
+def lint_paths(
+    paths: Iterable[Path | str], rules: Iterable[str] | None = None
+) -> LintResult:
+    """Lint every python file under ``paths``."""
+    result = LintResult(rules_run=tuple(cls.name for cls in resolve_rules(rules)))
+    for file_path in iter_python_files(Path(p) for p in paths):
+        source = file_path.read_text(encoding="utf-8")
+        one = lint_source(
+            source,
+            path=_display_path(file_path),
+            module=_module_name(file_path),
+            rules=rules,
+        )
+        result.extend(one)
+    result.findings = result.sorted_findings()
+    return result
+
+
+# Built-in rules register themselves on import; placed last so the rule
+# modules can import the framework above without a cycle.
+from repro.lint import rules_determinism  # noqa: E402,F401
+from repro.lint import rules_fault  # noqa: E402,F401
+from repro.lint import rules_pvops  # noqa: E402,F401
+
+ALL_RULES: tuple[str, ...] = rule_names()

@@ -1,0 +1,69 @@
+"""Finding reporters: human text and machine JSON.
+
+Text output is one ``path:line:col: RULE message`` line per finding plus
+a summary; JSON is a stable, versioned document for CI and tooling
+(``python -m repro.cli lint --format json``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import Finding, LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, new_findings: list[Finding] | None = None) -> str:
+    """Human report. ``new_findings`` (post-baseline) defaults to all."""
+    findings = result.findings if new_findings is None else new_findings
+    lines = [
+        f"{f.location()}: {f.rule} {f.message}"
+        for f in findings
+    ]
+    baselined = len(result.findings) - len(findings)
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    summary = (
+        f"{len(findings)} finding(s) in {result.files_checked} file(s)"
+        + (f", {baselined} baselined" if baselined else "")
+    )
+    if by_rule:
+        summary += " [" + ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        ) + "]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, new_findings: list[Finding] | None = None) -> str:
+    """Versioned JSON document; ``new`` marks findings not in the baseline."""
+    findings = result.findings if new_findings is None else new_findings
+    new_keys = {id(f) for f in findings}
+    return json.dumps(
+        {
+            "version": JSON_SCHEMA_VERSION,
+            "files_checked": result.files_checked,
+            "rules_run": list(result.rules_run),
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "context": f.context,
+                    "new": id(f) in new_keys,
+                }
+                for f in result.findings
+            ],
+            "summary": {
+                "total": len(result.findings),
+                "new": len(findings),
+                "baselined": len(result.findings) - len(findings),
+            },
+        },
+        indent=2,
+        sort_keys=False,
+    )

@@ -1,0 +1,91 @@
+"""Fault-injection catalogue rule.
+
+``FAULT001`` — every injection *site* string must be registered in
+:data:`repro.inject.plan.ALL_SITES`.  ``FaultRule.__post_init__`` rejects
+unknown sites at runtime, but only if the code path runs; a typo'd site in
+an instrumented layer (``plan.fire("mem.pagecashe.refill", ...)``) fails
+*open* — the fault silently never fires and the chaos scenario tests
+nothing.  This rule closes that hole statically: string literals passed to
+``fire(...)`` / ``FaultRule(site=...)``, and ``SITE_*`` constants defined
+outside the catalogue module, must all be catalogue members.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import Rule, register_rule
+
+#: The module that owns the site catalogue.
+CATALOGUE_MODULE = "repro.inject.plan"
+
+
+def _known_sites() -> frozenset[str]:
+    # Imported lazily so the lint framework stays importable even if the
+    # simulator package is mid-refactor; the rule degrades to "no check"
+    # only if the catalogue itself cannot be imported.
+    try:
+        from repro.inject.plan import ALL_SITES
+    except Exception:  # pragma: no cover - catalogue always importable in CI
+        return frozenset()
+    return frozenset(ALL_SITES)
+
+
+@register_rule
+class FaultSiteRule(Rule):
+    """FAULT001: fault-plan site strings missing from the site catalogue."""
+
+    name = "FAULT001"
+    description = (
+        "fault-injection site is not in repro.inject.plan.ALL_SITES; an "
+        "unregistered site never matches a rule, so the fault fails open"
+    )
+
+    def __init__(self, module: str, path: str, source_lines: list[str]):
+        super().__init__(module, path, source_lines)
+        self.sites = _known_sites()
+
+    def _check_literal(self, node: ast.AST, value: object, where: str) -> None:
+        if not self.sites:
+            return
+        if isinstance(value, str) and value not in self.sites:
+            self.report(
+                node,
+                f"site {value!r} passed to {where} is not registered in "
+                "repro.inject.plan.ALL_SITES; add a SITE_* constant to the "
+                "catalogue (and document it in docs/robustness.md)",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "fire" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant):
+                self._check_literal(first, first.value, "fire()")
+        callee = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if callee == "FaultRule":
+            for keyword in node.keywords:
+                if keyword.arg == "site" and isinstance(keyword.value, ast.Constant):
+                    self._check_literal(
+                        keyword.value, keyword.value.value, "FaultRule(site=...)"
+                    )
+            if node.args and isinstance(node.args[0], ast.Constant):
+                self._check_literal(node.args[0], node.args[0].value, "FaultRule(...)")
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.module != CATALOGUE_MODULE and isinstance(node.value, ast.Constant):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id.startswith("SITE_")
+                    and isinstance(node.value.value, str)
+                ):
+                    self._check_literal(
+                        node.value,
+                        node.value.value,
+                        f"the {target.id} constant",
+                    )
+        self.generic_visit(node)

@@ -15,7 +15,7 @@ and ``clear_ad_bits`` through them.
 
 from __future__ import annotations
 
-from repro.paging.pagetable import PageTablePage, PageTableTree
+from repro.paging.pagetable import PageTablePage, PageTableTree, PagingOps
 from repro.paging.pte import PTE_AD_BITS
 
 
@@ -36,4 +36,4 @@ def read_entry_or_ad(tree: PageTableTree, members: list[PageTablePage], index: i
 def clear_ad_everywhere(tree: PageTableTree, members: list[PageTablePage], index: int) -> None:
     """Reset A/D bits of entry ``index`` in every replica."""
     for member in members:
-        member.entries[index] &= ~PTE_AD_BITS
+        PagingOps.apply_entry_write(member, index, member.entries[index] & ~PTE_AD_BITS)

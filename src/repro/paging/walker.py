@@ -110,7 +110,8 @@ class HardwareWalker:
                 if is_write and is_leaf:
                     new_entry |= PTE_DIRTY
                 if new_entry != entry:
-                    page.entries[index] = new_entry  # hardware write: no PV-Ops
+                    # lint: allow[PVOPS001] -- hardware A/D store: the MMU writes the walked replica directly, outside PV-Ops (§5.4)
+                    page.entries[index] = new_entry
                     entry = new_entry
             if is_leaf:
                 offset_bits = 21 if level == HUGE_LEAF_LEVEL else 12

@@ -154,7 +154,8 @@ class TwoDimWalker:
             if is_write and level == LEAF_LEVEL:
                 new_entry |= PTE_DIRTY
             if new_entry != entry:
-                page.entries[index] = new_entry  # hardware A/D, no PV-Ops
+                # lint: allow[PVOPS001] -- hardware A/D store: the 2D walker updates guest PTEs like an MMU, outside PV-Ops
+                page.entries[index] = new_entry
             if level == LEAF_LEVEL:
                 data_gfn = pte_pfn(entry)
                 break

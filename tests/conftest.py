@@ -4,6 +4,19 @@ from __future__ import annotations
 
 import pytest
 
+from repro.lint import sanitizer as _sanitizer
+
+
+@pytest.fixture(scope="session", autouse=True)
+def pte_sanitizer_from_env():
+    """With ``REPRO_PTE_SANITIZER=1``, run the whole suite under the PTE
+    write sanitizer: any store bypassing ``apply_entry_write`` (or a
+    hardware walker) raises instead of silently desyncing replicas."""
+    guard = _sanitizer.install_from_env()
+    yield guard
+    if guard is not None:
+        guard.uninstall()
+
 from repro.kernel.kernel import Kernel
 from repro.kernel.sysctl import MitosisMode, Sysctl
 from repro.machine.topology import Machine

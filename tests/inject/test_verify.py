@@ -7,6 +7,7 @@ from repro.inject import verify_kernel, verify_tree
 from repro.mitosis.ring import ring_members
 from repro.paging.pte import PTE_ACCESSED, PTE_DIRTY, make_pte, pte_flags, pte_pfn, pte_present
 from repro.units import MIB
+from repro.lint.sanitizer import simulated_hardware
 
 
 @pytest.fixture
@@ -80,7 +81,8 @@ class TestCleanTrees:
         _, process = replicated
         members = _leaf_ring(process.mm.tree)
         index, entry = _first_present(members[1])
-        members[1].entries[index] = entry | PTE_ACCESSED | PTE_DIRTY
+        with simulated_hardware():
+            members[1].entries[index] = entry | PTE_ACCESSED | PTE_DIRTY
         assert verify_tree(process.mm.tree).ok
 
 
@@ -89,7 +91,8 @@ class TestCorruptions:
         _, process = replicated
         members = _leaf_ring(process.mm.tree)
         index, entry = _first_present(members[1])
-        members[1].entries[index] = make_pte(pte_pfn(entry) + 1, pte_flags(entry))
+        with simulated_hardware():
+            members[1].entries[index] = make_pte(pte_pfn(entry) + 1, pte_flags(entry))
         report = verify_tree(process.mm.tree)
         assert not report.ok
         assert any(v.kind == "leaf-mismatch" for v in report.violations)
@@ -99,7 +102,8 @@ class TestCorruptions:
         _, process = replicated
         members = _leaf_ring(process.mm.tree)
         index, _ = _first_present(members[1])
-        members[1].entries[index] = 0
+        with simulated_hardware():
+            members[1].entries[index] = 0
         report = verify_tree(process.mm.tree)
         assert any(v.kind == "present-mismatch" for v in report.violations)
 
@@ -113,7 +117,8 @@ class TestCorruptions:
         index, entry = _first_present(replica)
         primary_index, primary_entry = _first_present(members[0])
         assert index == primary_index
-        replica.entries[index] = make_pte(pte_pfn(primary_entry), pte_flags(entry))
+        with simulated_hardware():
+            replica.entries[index] = make_pte(pte_pfn(primary_entry), pte_flags(entry))
         report = verify_tree(tree)
         assert any(v.kind == "child-wiring" for v in report.violations)
 

@@ -5,6 +5,7 @@ import pytest
 from repro.kernel.debug import ConsistencyError, validate_all, validate_mm
 from repro.paging.pte import make_pte
 from repro.units import MIB, PAGE_SIZE
+from repro.lint.sanitizer import simulated_hardware
 
 
 @pytest.fixture
@@ -59,7 +60,8 @@ class TestCorruptionDetected:
 
         location = proc.mm.tree.leaf_location(next(iter(proc.mm.frames)))
         rogue = ring_members(proc.mm.tree, location.page)[1]
-        rogue.entries[location.index] = make_pte(12345, 1)
+        with simulated_hardware():
+            rogue.entries[location.index] = make_pte(12345, 1)
         with pytest.raises(ConsistencyError, match="divergence"):
             validate_mm(kernel2, proc)
 

@@ -1,0 +1,62 @@
+"""The repo must lint clean against its own committed baseline.
+
+This is the same gate CI runs (`python -m repro.cli lint`): it fails the
+suite the moment a new PV-Ops bypass, determinism hazard or unregistered
+fault site lands anywhere in ``src/repro``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.lint import filter_baseline, lint_paths, load_baseline
+from repro.lint.baseline import default_baseline_path
+from repro.lint.core import ALL_RULES
+
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+
+
+def test_all_expected_rules_registered():
+    assert set(ALL_RULES) == {
+        "PVOPS001",
+        "PVOPS002",
+        "DET001",
+        "DET002",
+        "FAULT001",
+    }
+
+
+def test_repo_has_no_new_findings():
+    result = lint_paths([PACKAGE_DIR])
+    baseline_path = default_baseline_path()
+    assert baseline_path.exists(), "lint-baseline.json must be committed"
+    new = filter_baseline(result.findings, load_baseline(baseline_path))
+    formatted = "\n".join(f"{f.location()}: {f.rule} {f.message}" for f in new)
+    assert not new, f"new lint findings:\n{formatted}"
+
+
+def test_baseline_is_not_stale():
+    """Every baseline entry still matches a real finding — fixed findings
+    must be removed from the baseline so it cannot mask future ones."""
+    result = lint_paths([PACKAGE_DIR])
+    baseline = load_baseline(default_baseline_path())
+    current = {f.fingerprint() for f in result.findings}
+    stale = [key for key in baseline if key not in current]
+    assert not stale, f"baseline entries no longer needed: {stale}"
+
+
+def test_introducing_a_violation_is_caught(tmp_path):
+    """End-to-end: a fixture violation for *each* rule fails a lint run."""
+    fixtures = {
+        "PVOPS001": "page.entries[0] = 0\n",
+        "PVOPS002": "page = PageTablePage(frame=frame, level=1)\n",
+        "DET001": "import random\nx = random.random()\n",
+        "DET002": "for n in set(nodes):\n    visit(n)\n",
+        "FAULT001": "plan.fire('not.a.real.site')\n",
+    }
+    for rule, source in fixtures.items():
+        bad = tmp_path / f"{rule.lower()}_violation.py"
+        bad.write_text(source)
+        result = lint_paths([bad])
+        assert [f.rule for f in result.findings] == [rule], rule

@@ -1,0 +1,110 @@
+"""Reporter golden output and baseline round-trip/filtering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import (
+    filter_baseline,
+    lint_source,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+
+FIXTURE = (
+    "import random\n"
+    "page.entries[0] = random.random()\n"
+)
+
+
+def _result():
+    return lint_source(FIXTURE, path="src/repro/fixture.py", module="repro.fixture")
+
+
+class TestTextReport:
+    def test_golden_output(self):
+        text = render_text(_result())
+        assert text == (
+            "src/repro/fixture.py:2:18: DET001 random.random() uses global, "
+            "unseeded state; use an explicitly seeded generator owned by the caller\n"
+            "src/repro/fixture.py:2:0: PVOPS001 page-table entry store bypasses "
+            "PV-Ops; route it through PagingOps.apply_entry_write so every "
+            "physical replica stays coherent\n"
+            "2 finding(s) in 1 file(s) [DET001: 1, PVOPS001: 1]"
+        )
+
+    def test_baselined_count_shown(self):
+        result = _result()
+        text = render_text(result, new_findings=result.findings[:1])
+        assert "1 finding(s) in 1 file(s), 1 baselined [DET001: 1]" in text
+
+
+class TestJsonReport:
+    def test_document_shape(self):
+        result = _result()
+        document = json.loads(render_json(result))
+        assert document["version"] == 1
+        assert document["files_checked"] == 1
+        assert document["summary"] == {"total": 2, "new": 2, "baselined": 0}
+        rules = [f["rule"] for f in document["findings"]]
+        assert rules == ["DET001", "PVOPS001"]
+        first = document["findings"][0]
+        assert first["path"] == "src/repro/fixture.py"
+        assert first["line"] == 2
+        assert first["new"] is True
+        assert first["context"] == "page.entries[0] = random.random()"
+
+    def test_baselined_findings_marked_not_new(self):
+        result = _result()
+        document = json.loads(render_json(result, new_findings=[]))
+        assert document["summary"] == {"total": 2, "new": 0, "baselined": 2}
+        assert all(f["new"] is False for f in document["findings"])
+
+
+class TestBaseline:
+    def test_round_trip_filters_everything(self, tmp_path):
+        result = _result()
+        path = tmp_path / "baseline.json"
+        write_baseline(result.findings, path)
+        baseline = load_baseline(path)
+        assert filter_baseline(result.findings, baseline) == []
+
+    def test_new_finding_survives_filtering(self, tmp_path):
+        result = _result()
+        path = tmp_path / "baseline.json"
+        write_baseline(result.findings[:1], path)
+        new = filter_baseline(result.findings, load_baseline(path))
+        assert [f.rule for f in new] == ["PVOPS001"]
+
+    def test_count_respected(self, tmp_path):
+        # One baselined occurrence does not absolve a second identical one.
+        doubled = lint_source(
+            "page.entries[0] = a\npage.entries[0] = a\n",
+            path="src/repro/fixture.py",
+            module="repro.fixture",
+        )
+        path = tmp_path / "baseline.json"
+        write_baseline(doubled.findings[:1], path)
+        new = filter_baseline(doubled.findings, load_baseline(path))
+        assert len(new) == 1
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        result = _result()
+        path = tmp_path / "baseline.json"
+        write_baseline(result.findings, path)
+        drifted = lint_source(
+            "\n\n\n" + FIXTURE, path="src/repro/fixture.py", module="repro.fixture"
+        )
+        assert filter_baseline(drifted.findings, load_baseline(path)) == []
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        try:
+            load_baseline(path)
+        except ValueError as exc:
+            assert "version" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")

@@ -17,6 +17,7 @@ from repro.paging.pte import (
 )
 from repro.paging.walker import HardwareWalker
 from repro.units import PAGE_SIZE
+from repro.lint.sanitizer import simulated_hardware
 
 FLAGS = PTE_WRITABLE | PTE_USER
 
@@ -141,7 +142,8 @@ class TestAccessedDirty:
         tree4.map_page(0x1000, physmem4.alloc_frame(0).pfn, FLAGS)
         HardwareWalker(tree4).walk(0x1000, socket=1, is_write=False)
         leaf = tree4.leaf_location(0x1000)
-        leaf.page.entries[leaf.index] &= ~PTE_ACCESSED  # naive primary-only clear
+        with simulated_hardware():
+            leaf.page.entries[leaf.index] &= ~PTE_ACCESSED  # naive primary-only clear
         assert tree4.ops.read_pte(tree4, leaf.page, leaf.index) & PTE_ACCESSED
 
 

@@ -129,3 +129,63 @@ class TestChaos:
     def test_unknown_scenario_rejected(self, capsys):
         with pytest.raises(SystemExit):
             run(capsys, "chaos", "--scenario", "split-brain")
+
+    def test_pte_sanitizer_flag_reports_checked_stores(self, capsys):
+        code, out, _ = run(capsys, "chaos", "--seed", "7", "--pte-sanitizer")
+        assert code == 0
+        assert "PTE sanitizer:" in out
+        assert "0 bypass(es)" in out
+
+
+class TestLint:
+    def test_repo_is_clean_with_baseline(self, capsys):
+        code, out, _ = run(capsys, "lint")
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_violation_fails_the_run(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("page.entries[0] = 0\n")
+        code, out, _ = run(capsys, "lint", str(bad))
+        assert code == 1
+        assert "PVOPS001" in out
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        code, out, _ = run(capsys, "lint", str(bad), "--format", "json")
+        assert code == 1
+        document = json.loads(out)
+        assert document["version"] == 1
+        assert [f["rule"] for f in document["findings"]] == ["DET001"]
+
+    def test_no_baseline_surfaces_grandfathered_findings(self, capsys):
+        code, out, _ = run(capsys, "lint", "--no-baseline")
+        assert code == 1
+        assert "PVOPS002" in out
+
+    def test_rule_subset(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\npage.entries[0] = 0\n")
+        code, out, _ = run(capsys, "lint", str(bad), "--rules", "PVOPS001")
+        assert code == 1
+        assert "PVOPS001" in out and "DET001" not in out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        code, _, err = run(capsys, "lint", "--rules", "NOPE999")
+        assert code == 2
+        assert "unknown rule" in err
+
+    def test_write_baseline_round_trip(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("page.entries[0] = 0\n")
+        baseline = tmp_path / "baseline.json"
+        code, _, err = run(
+            capsys, "lint", str(bad), "--baseline", str(baseline), "--write-baseline"
+        )
+        assert code == 0 and baseline.exists()
+        code, out, _ = run(capsys, "lint", str(bad), "--baseline", str(baseline))
+        assert code == 0
+        assert "1 baselined" in out

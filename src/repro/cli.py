@@ -3,7 +3,8 @@
 The paper's user-facing knob is ``numactl --pgtablerepl=<sockets>``
 (Listing 2): run a program with a page-table replication policy, no code
 changes. This CLI reproduces that UX against the simulator, plus
-sub-commands for the two experiment harnesses and the analysis tools.
+sub-commands for the experiment harnesses, the analysis tools, the chaos
+(fault-injection) harness, the static analyzer and the tracing layer:
 
 ::
 
@@ -13,7 +14,13 @@ sub-commands for the two experiment harnesses and the analysis tools.
     python -m repro scenario multisocket canneal F+M --thp
     python -m repro dump memcached
     python -m repro table4
+    python -m repro chaos --scenario replication-oom --seed 7
     python -m repro lint --format json
+    python -m repro trace --out trace.json chaos --scenario replication-oom
+
+``trace`` wraps any of the simulation sub-commands (``numactl``,
+``scenario``, ``dump``, ``chaos``) in a :mod:`repro.trace` session and
+exports the timeline — see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -41,95 +48,140 @@ from repro.units import MIB
 from repro.workloads.registry import WORKLOADS, create
 
 
+def _add_numactl_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument(
+        "--pgtablerepl", "-r", default=None,
+        help="sockets to replicate page-tables on (e.g. '0-3' or '0,2')",
+    )
+    parser.add_argument("--cpunodebind", "-N", type=int, default=0, help="run on this socket")
+    parser.add_argument("--membind", "-m", type=int, default=None, help="force data to a node")
+    parser.add_argument("--pt-node", type=int, default=None, help="force page-tables to a node")
+    parser.add_argument("--sockets", type=int, default=4, help="machine size")
+    parser.add_argument("--footprint-mib", type=int, default=64)
+    parser.add_argument("--accesses", type=int, default=20_000)
+    parser.add_argument("--thp", action="store_true", help="enable transparent huge pages")
+    parser.add_argument(
+        "--perf", action="store_true", help="print perf-stat style counters (§3.2)"
+    )
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("kind", choices=["migration", "multisocket"])
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument("config", help="e.g. RPI-LD (migration) or F+M (multisocket)")
+    parser.add_argument("--mitosis", action="store_true", help="migration: add the +M repair")
+    parser.add_argument("--thp", action="store_true")
+    parser.add_argument("--fragmentation", type=float, default=0.0)
+    parser.add_argument("--footprint-mib", type=int, default=64)
+    parser.add_argument("--accesses", type=int, default=20_000)
+
+
+def _add_dump_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument("--footprint-mib", type=int, default=64)
+
+
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", choices=CHAOS_SCENARIOS, default="replication-oom",
+        help="which chaos scenario to run",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="fault-plan seed")
+    parser.add_argument(
+        "--pte-sanitizer", action="store_true",
+        help="guard every PTE store with the runtime sanitizer "
+        "(also enabled by REPRO_PTE_SANITIZER=1)",
+    )
+
+
+def _add_lint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt",
+        help="report format",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule subset (e.g. PVOPS001,DET001)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: lint-baseline.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="strict mode: ignore the baseline, every finding counts",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+
+
+#: Sub-commands ``trace`` can wrap: everything that actually drives the
+#: simulator (``lint`` and ``table4`` never emit trace events).
+TRACEABLE_COMMANDS: dict[str, tuple[str, object]] = {
+    "numactl": ("run a workload under placement/replication policies", _add_numactl_args),
+    "scenario": ("run a paper experiment configuration", _add_scenario_args),
+    "dump": ("page-table placement snapshot (Fig. 3)", _add_dump_args),
+    "chaos": ("run a fault-injection scenario and verify replica consistency", _add_chaos_args),
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """Assemble the ``repro`` argument parser (every sub-command)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Mitosis (ASPLOS 2020) reproduction — simulated NUMA machine",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    numactl = sub.add_parser(
-        "numactl", help="run a workload under placement/replication policies"
-    )
-    numactl.add_argument("workload", choices=sorted(WORKLOADS))
-    numactl.add_argument(
-        "--pgtablerepl", "-r", default=None,
-        help="sockets to replicate page-tables on (e.g. '0-3' or '0,2')",
-    )
-    numactl.add_argument("--cpunodebind", "-N", type=int, default=0, help="run on this socket")
-    numactl.add_argument("--membind", "-m", type=int, default=None, help="force data to a node")
-    numactl.add_argument("--pt-node", type=int, default=None, help="force page-tables to a node")
-    numactl.add_argument("--sockets", type=int, default=4, help="machine size")
-    numactl.add_argument("--footprint-mib", type=int, default=64)
-    numactl.add_argument("--accesses", type=int, default=20_000)
-    numactl.add_argument("--thp", action="store_true", help="enable transparent huge pages")
-    numactl.add_argument(
-        "--perf", action="store_true", help="print perf-stat style counters (§3.2)"
-    )
-
-    scenario = sub.add_parser("scenario", help="run a paper experiment configuration")
-    scenario.add_argument("kind", choices=["migration", "multisocket"])
-    scenario.add_argument("workload", choices=sorted(WORKLOADS))
-    scenario.add_argument("config", help="e.g. RPI-LD (migration) or F+M (multisocket)")
-    scenario.add_argument("--mitosis", action="store_true", help="migration: add the +M repair")
-    scenario.add_argument("--thp", action="store_true")
-    scenario.add_argument("--fragmentation", type=float, default=0.0)
-    scenario.add_argument("--footprint-mib", type=int, default=64)
-    scenario.add_argument("--accesses", type=int, default=20_000)
-
-    dump = sub.add_parser("dump", help="page-table placement snapshot (Fig. 3)")
-    dump.add_argument("workload", choices=sorted(WORKLOADS))
-    dump.add_argument("--footprint-mib", type=int, default=64)
+    for name, (help_text, add_args) in TRACEABLE_COMMANDS.items():
+        add_args(sub.add_parser(name, help=help_text))
 
     sub.add_parser("table4", help="print the Table 4 memory-overhead model")
-
-    chaos = sub.add_parser(
-        "chaos",
-        help="run a fault-injection scenario and verify replica consistency",
-    )
-    chaos.add_argument(
-        "--scenario", choices=CHAOS_SCENARIOS, default="replication-oom",
-        help="which chaos scenario to run",
-    )
-    chaos.add_argument("--seed", type=int, default=7, help="fault-plan seed")
-    chaos.add_argument(
-        "--pte-sanitizer", action="store_true",
-        help="guard every PTE store with the runtime sanitizer "
-        "(also enabled by REPRO_PTE_SANITIZER=1)",
-    )
 
     lint = sub.add_parser(
         "lint",
         help="static analysis: PV-Ops / determinism / fault-site invariants",
     )
-    lint.add_argument(
-        "paths", nargs="*",
-        help="files or directories to lint (default: the repro package)",
+    _add_lint_args(lint)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a sub-command with structured tracing and export the timeline",
     )
-    lint.add_argument(
-        "--format", choices=["text", "json"], default="text", dest="fmt",
-        help="report format",
+    trace.add_argument(
+        "--out", default="trace.json",
+        help="output file for the exported trace (default: trace.json)",
     )
-    lint.add_argument(
-        "--rules", default=None,
-        help="comma-separated rule subset (e.g. PVOPS001,DET001)",
+    trace.add_argument(
+        "--export", choices=["chrome", "jsonl"], default="chrome",
+        help="chrome: trace_event JSON for Perfetto/chrome://tracing; "
+        "jsonl: one event per line",
     )
-    lint.add_argument(
-        "--baseline", default=None,
-        help="baseline file (default: lint-baseline.json at the repo root)",
+    trace.add_argument(
+        "--capacity", type=int, default=65536,
+        help="in-memory event ring size (sinks see every event regardless)",
     )
-    lint.add_argument(
-        "--no-baseline", action="store_true",
-        help="strict mode: ignore the baseline, every finding counts",
+    trace.add_argument(
+        "--no-summary", action="store_true",
+        help="skip the end-of-run event/counter summary",
     )
-    lint.add_argument(
-        "--write-baseline", action="store_true",
-        help="rewrite the baseline from the current findings and exit 0",
-    )
+    traced = trace.add_subparsers(dest="traced_command", required=True)
+    for name, (help_text, add_args) in TRACEABLE_COMMANDS.items():
+        add_args(traced.add_parser(name, help=help_text))
     return parser
 
 
 def _cmd_numactl(args: argparse.Namespace) -> int:
+    """``repro numactl``: the Listing 2 UX — run one workload on a chosen
+    socket with optional data/page-table pinning and a ``--pgtablerepl``
+    replication mask, then print the headline metrics."""
     machine = Machine.homogeneous(
         args.sockets, cores_per_socket=2,
         memory_per_socket=(args.footprint_mib + 192) * MIB,
@@ -167,6 +219,9 @@ def _cmd_numactl(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
+    """``repro scenario``: one measured bar of the paper's experiments —
+    ``migration`` (Table 2 / Figs. 6, 10, 11) or ``multisocket``
+    (Table 3 / Fig. 9)."""
     engine = EngineConfig(accesses_per_thread=args.accesses)
     footprint = args.footprint_mib * MIB
     if args.kind == "migration":
@@ -197,6 +252,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: one seeded fault-injection scenario end-to-end,
+    ending with the replica-consistency verifier; exits 1 on a verifier
+    violation. ``--pte-sanitizer`` additionally guards every PTE store."""
     from repro.lint.sanitizer import PTESanitizer, env_enabled
 
     sanitizer = None
@@ -214,6 +272,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: run the static analyzer (PV-Ops, determinism,
+    fault-site and suppression-hygiene rules) over the given paths;
+    exits 1 when there are findings not covered by the baseline."""
     from pathlib import Path
 
     from repro.lint import (
@@ -256,27 +317,70 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_dump(args: argparse.Namespace) -> int:
+    """``repro dump``: populate a workload and print the Fig. 3 style
+    page-table placement snapshot (tables per level per node)."""
     dump = fig3_snapshot(workload=args.workload, footprint=args.footprint_mib * MIB)
     print(dump.render())
     return 0
 
 
+def _cmd_table4(args: argparse.Namespace) -> int:
+    """``repro table4``: print the paper's Table 4 memory-overhead model."""
+    print(render_table4())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run a nested sub-command with a
+    :mod:`repro.trace` session installed and export the timeline.
+
+    ``--export chrome`` (default) writes a Chrome ``trace_event`` file
+    for https://ui.perfetto.dev / ``chrome://tracing``; ``--export
+    jsonl`` streams one JSON event per line. The traced command's exit
+    code is preserved; a summary of event volume and counters is printed
+    unless ``--no-summary``.
+    """
+    from repro.trace import ChromeTraceSink, JsonlSink, TraceSession, start_tracing, stop_tracing
+
+    if args.export == "chrome":
+        sink: ChromeTraceSink | JsonlSink = ChromeTraceSink(args.out)
+    else:
+        sink = JsonlSink(args.out)
+    session = TraceSession(
+        capacity=args.capacity,
+        sinks=[sink],
+        metadata={"command": args.traced_command},
+    )
+    if isinstance(sink, ChromeTraceSink):
+        sink.open_session(session)
+    start_tracing(session)
+    try:
+        code = COMMANDS[args.traced_command](args)
+    finally:
+        stop_tracing()
+    print(f"trace written to {args.out} ({args.export})")
+    if not args.no_summary:
+        print(session.summary())
+    return code
+
+
+#: Sub-command dispatch (``trace`` re-enters this table for its nested
+#: command, which is why it is defined after every handler).
+COMMANDS: dict[str, object] = {
+    "numactl": _cmd_numactl,
+    "scenario": _cmd_scenario,
+    "dump": _cmd_dump,
+    "table4": _cmd_table4,
+    "chaos": _cmd_chaos,
+    "lint": _cmd_lint,
+    "trace": _cmd_trace,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
+    """Parse ``argv`` and dispatch to the chosen sub-command handler."""
     args = build_parser().parse_args(argv)
-    if args.command == "numactl":
-        return _cmd_numactl(args)
-    if args.command == "scenario":
-        return _cmd_scenario(args)
-    if args.command == "dump":
-        return _cmd_dump(args)
-    if args.command == "chaos":
-        return _cmd_chaos(args)
-    if args.command == "lint":
-        return _cmd_lint(args)
-    if args.command == "table4":
-        print(render_table4())
-        return 0
-    raise AssertionError("unreachable")  # pragma: no cover
+    return COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,6 +25,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.trace.session import current_session
+
 #: Strict per-node frame allocation (``NodeAllocator``) fails with OOM.
 SITE_ALLOCATOR_OOM = "mem.allocator.oom"
 #: Page-table page-cache refill from the node allocator fails (§5.1).
@@ -201,16 +203,27 @@ class FaultPlan:
                 continue
             rule.fired += 1
             self.stats.record(site)
-            self.log.append(
-                InjectedFault(
-                    seq=self.stats.total,
-                    site=site,
-                    context=tuple(
-                        (k, v) for k, v in sorted(context.items())
-                        if isinstance(v, (int, float, str, bool))
-                    ),
-                )
+            scalars = tuple(
+                (k, v) for k, v in sorted(context.items())
+                if isinstance(v, (int, float, str, bool))
             )
+            self.log.append(
+                InjectedFault(seq=self.stats.total, site=site, context=scalars)
+            )
+            session = current_session()
+            if session is not None:
+                session.count(f"inject.{site}")
+                session.instant(
+                    "fault",
+                    category="inject",
+                    site=site,
+                    seq=self.stats.total,
+                    seed=self.seed,
+                    **{
+                        k: v for k, v in scalars
+                        if k not in ("name", "category", "track", "site", "seq", "seed")
+                    },
+                )
             return rule
         return None
 

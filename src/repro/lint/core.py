@@ -261,6 +261,7 @@ def resolve_rules(names: Iterable[str] | None = None) -> tuple[type[Rule], ...]:
 
 
 def rule_names() -> tuple[str, ...]:
+    """Every registered rule name, sorted (the ``--rules`` vocabulary)."""
     return tuple(sorted(RULE_REGISTRY))
 
 

@@ -21,6 +21,7 @@ from repro.mitosis.ring import link_ring, replica_on_socket, ring_members, unlin
 from repro.paging.levels import LEAF_LEVEL
 from repro.paging.pagetable import PageTablePage, PageTableTree, PagingOps
 from repro.paging.pte import make_pte, pte_flags, pte_huge, pte_pfn, pte_present
+from repro.trace.session import current_session
 
 
 class MitosisPagingOps(PagingOps):
@@ -63,6 +64,15 @@ class MitosisPagingOps(PagingOps):
         for copy in copies:
             tree.registry[copy.pfn] = copy
         self.stats.tables_allocated += len(copies)
+        session = current_session()
+        if session is not None:
+            session.instant(
+                "replicate-table",
+                category="mitosis",
+                level=level,
+                sockets=sockets,
+                copies=len(copies),
+            )
         return primary
 
     def release_table(self, tree: PageTableTree, page: PageTablePage) -> None:
@@ -74,6 +84,14 @@ class MitosisPagingOps(PagingOps):
             del tree.registry[member.pfn]
             self.pagecache.free(member.frame)
         self.stats.tables_released += len(members)
+        session = current_session()
+        if session is not None:
+            session.instant(
+                "teardown-table",
+                category="mitosis",
+                level=page.level,
+                copies=len(members),
+            )
 
     # -- updates ---------------------------------------------------------------
 
@@ -102,6 +120,12 @@ class MitosisPagingOps(PagingOps):
                 member_value = make_pte(local_child.pfn, pte_flags(value))
             self.apply_entry_write(member, index, member_value)
             self.stats.pte_writes += 1
+        # set_pte is the eager-propagation hot path: counters only, no
+        # event objects (see docs/observability.md on event volume).
+        session = current_session()
+        if session is not None:
+            session.count("mitosis.set_pte")
+            session.count("mitosis.set_pte_replica_writes", float(len(members)))
 
     def read_pte(self, tree: PageTableTree, page: PageTablePage, index: int) -> int:
         """OS-visible read: first copy's entry with all replicas' A/D bits

@@ -30,6 +30,7 @@ from repro.mitosis.ring import link_ring, replica_on_socket, ring_members
 from repro.paging.levels import LEAF_LEVEL
 from repro.paging.pagetable import PageTablePage, PageTableTree, PagingOps
 from repro.paging.pte import make_pte, pte_flags, pte_huge, pte_pfn, pte_present
+from repro.trace.session import current_session
 from repro.units import PTES_PER_TABLE
 
 
@@ -78,6 +79,22 @@ class ReplicationJob:
                 ``kernel`` to degrade through (legacy strict mode); the job
                 stays consistent and resumable — free memory and call again.
         """
+        session = current_session()
+        if session is None:
+            return self._step(max_tables)
+        before = self.tables_copied
+        with session.span(
+            "replication.step", category="mitosis", remaining=self.remaining
+        ) as span:
+            cycles = self._step(max_tables)
+            span.set(
+                copied=self.tables_copied - before,
+                remaining=self.remaining,
+                cycles=round(cycles, 1),
+            )
+            return cycles
+
+    def _step(self, max_tables: int) -> float:
         cycles = 0.0
         copied = 0
         while self._pending and copied < max_tables:
@@ -119,6 +136,14 @@ class ReplicationJob:
                 self.kernel.resilience.degradations += 1
             self.mask = self.mask - {node}
             self.degraded_sockets.add(node)
+            session = current_session()
+            if session is not None:
+                session.instant(
+                    "job-degraded",
+                    category="mitosis",
+                    socket=node,
+                    mask=sorted(self.mask),
+                )
             if not self.mask:
                 raise
             if isinstance(self.tree.ops, MitosisPagingOps):

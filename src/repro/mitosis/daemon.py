@@ -31,6 +31,7 @@ from repro.mitosis.degrade import enable_replication_resilient
 from repro.mitosis.manager import MitosisManager
 from repro.mitosis.replication import replica_sockets
 from repro.sim.metrics import RunMetrics
+from repro.trace.session import current_session
 
 
 @dataclass
@@ -52,6 +53,19 @@ class MitosisDaemon:
     #: Upper bound on the degraded-retry backoff, in epochs.
     backoff_cap: int = 32
 
+    def _record(self, decision: DaemonDecision) -> None:
+        """Append a decision and mirror it onto the trace timeline."""
+        self.decisions.append(decision)
+        session = current_session()
+        if session is not None:
+            session.instant(
+                "daemon-decision",
+                category="daemon",
+                epoch=decision.epoch,
+                action=decision.action,
+                detail=decision.detail,
+            )
+
     def observe(self, epoch: int, metrics: RunMetrics) -> bool:
         """Inspect counters after an epoch; returns True if it acted."""
         process = self.process
@@ -68,7 +82,7 @@ class MitosisDaemon:
             if mm.replicated:
                 return False
             if self.manager.auto_replicate(process, walk_fraction, miss_rate, runtime):
-                self.decisions.append(
+                self._record(
                     DaemonDecision(
                         epoch=epoch,
                         action="replicate",
@@ -86,7 +100,7 @@ class MitosisDaemon:
         if socket in replica_sockets(mm.tree):
             return False  # page-tables already local
         result = self.manager.kernel_migrate_page_tables(process, socket)
-        self.decisions.append(
+        self._record(
             DaemonDecision(
                 epoch=epoch,
                 action="migrate-pt",
@@ -109,7 +123,7 @@ class MitosisDaemon:
             self.manager.kernel, self.process, state.requested_mask
         )
         if mm.degraded is None:
-            self.decisions.append(
+            self._record(
                 DaemonDecision(
                     epoch=epoch,
                     action="complete-mask",
@@ -122,7 +136,7 @@ class MitosisDaemon:
         mm.degraded.retries = state.retries + 1
         mm.degraded.backoff = min(delay * 2, self.backoff_cap)
         mm.degraded.next_retry_epoch = epoch + delay
-        self.decisions.append(
+        self._record(
             DaemonDecision(
                 epoch=epoch,
                 action="retry-degraded",
@@ -130,6 +144,18 @@ class MitosisDaemon:
                 f"backing off to epoch {mm.degraded.next_retry_epoch}",
             )
         )
+        session = current_session()
+        if session is not None:
+            # The backoff window as a span: its extent on the timeline is
+            # the epochs the daemon will stay quiet for.
+            session.complete(
+                "daemon.backoff",
+                category="daemon",
+                dur=float(delay),
+                epoch=epoch,
+                until_epoch=mm.degraded.next_retry_epoch,
+                missing=sorted(mm.degraded.missing),
+            )
         return True
 
     def callback(self):

@@ -18,6 +18,7 @@ from repro.mitosis.replication import (
     enable_replication,
     replica_sockets,
 )
+from repro.trace.session import current_session
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,26 @@ def migrate_page_tables(
     Returns the work done; the process ends with a local page-table on the
     target socket either way.
     """
+    session = current_session()
+    if session is None:
+        return _migrate_page_tables(kernel, process, target_socket, free_origin)
+    with session.span(
+        "migrate-pt",
+        category="mitosis",
+        target_socket=target_socket,
+        free_origin=free_origin,
+    ) as span:
+        result = _migrate_page_tables(kernel, process, target_socket, free_origin)
+        span.set(tables_copied=result.tables_copied, cycles=round(result.cycles, 1))
+        return result
+
+
+def _migrate_page_tables(
+    kernel: Kernel,
+    process: Process,
+    target_socket: int,
+    free_origin: bool,
+) -> PtMigrationResult:
     kernel.machine.socket(target_socket)
     mm = process.mm
     tree = mm.tree

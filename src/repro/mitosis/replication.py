@@ -20,6 +20,7 @@ from repro.mitosis.ring import link_ring, replica_on_socket, ring_members, unlin
 from repro.paging.levels import LEAF_LEVEL
 from repro.paging.pagetable import PageTablePage, PageTableTree, PagingOps
 from repro.paging.pte import make_pte, pte_flags, pte_huge, pte_pfn, pte_present
+from repro.trace.session import current_session
 
 
 def replica_sockets(tree: PageTableTree) -> frozenset[int]:
@@ -39,6 +40,20 @@ def enable_replication(
     ring-linked. The tree's ops backend is swapped to
     :class:`MitosisPagingOps` so subsequent updates stay consistent.
     """
+    session = current_session()
+    if session is None:
+        return _enable_replication(tree, pagecache, mask)
+    with session.span("mitosis.enable", category="mitosis", mask=sorted(mask)) as span:
+        ops = _enable_replication(tree, pagecache, mask)
+        span.set(tables_allocated=ops.stats.tables_allocated)
+        return ops
+
+
+def _enable_replication(
+    tree: PageTableTree,
+    pagecache: PageTablePageCache,
+    mask: frozenset[int],
+) -> MitosisPagingOps:
     if not mask:
         raise ReplicationError("empty mask; use collapse_replicas to disable")
     primaries = list(tree.iter_tables())
@@ -164,6 +179,16 @@ def _rollback_partial_enable(
     for frames in reserved.values():
         while frames:
             pagecache.free(frames.pop())
+    session = current_session()
+    if session is not None:
+        # The fixup arc: a failed enable was unwound back to the
+        # pre-replication state. Correlate with the 'fault' instant that
+        # triggered it via the timeline ordering.
+        session.instant(
+            "enable-rollback",
+            category="mitosis",
+            fresh_copies=len(created),
+        )
 
 
 def shrink_replication(
@@ -180,6 +205,22 @@ def shrink_replication(
     Returns the number of table pages freed. Sockets that lose their copy
     simply fall back to walking the primary, like any unmasked socket.
     """
+    session = current_session()
+    if session is None:
+        return _shrink_replication(tree, pagecache, drop_sockets)
+    with session.span(
+        "mitosis.shrink", category="mitosis", drop=sorted(drop_sockets)
+    ) as span:
+        freed = _shrink_replication(tree, pagecache, drop_sockets)
+        span.set(freed=freed)
+        return freed
+
+
+def _shrink_replication(
+    tree: PageTableTree,
+    pagecache: PageTablePageCache,
+    drop_sockets: frozenset[int],
+) -> int:
     # Pass A: decide what goes. Primaries always stay. Note iter_tables
     # yields whichever *copy* the local-pointer descent reaches — resolve
     # each ring's true primary explicitly.
@@ -266,6 +307,21 @@ def collapse_replicas(
         OutOfMemoryError: ``keep_socket`` cannot hold the missing copies;
             the tree is left exactly as it was.
     """
+    session = current_session()
+    if session is None:
+        return _collapse_replicas(tree, pagecache, keep_socket, pt_policy)
+    with session.span(
+        "mitosis.collapse", category="mitosis", keep_socket=keep_socket
+    ):
+        return _collapse_replicas(tree, pagecache, keep_socket, pt_policy)
+
+
+def _collapse_replicas(
+    tree: PageTableTree,
+    pagecache: PageTablePageCache,
+    keep_socket: int,
+    pt_policy: PlacementPolicy | None = None,
+) -> NativePagingOps:
     old_root = tree.root
     # Gap-fill: guarantee every ring has a copy on the kept socket before
     # any mutation (enable_replication is idempotent and OOM-atomic).

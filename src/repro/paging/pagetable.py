@@ -25,6 +25,7 @@ from typing import Iterator, NamedTuple
 
 from repro.errors import InvalidMappingError
 from repro.mem.frame import Frame
+from repro.trace.session import current_session
 from repro.paging.levels import (
     GEOMETRY_4LEVEL,
     HUGE_LEAF_LEVEL,
@@ -184,10 +185,21 @@ class PagingOps(abc.ABC):
     @staticmethod
     def apply_entry_write(page: PageTablePage, index: int, value: int) -> int:
         """Physically store ``value`` at ``page.entries[index]``; maintains
-        the valid-entry count and returns the old value."""
+        the valid-entry count and returns the old value.
+
+        This is the PV-Ops choke point — every physical entry store in
+        the simulator funnels through here, which makes it the one place
+        a ``pvops.entry_writes`` trace counter can observe them all.
+        Counter-only (no event objects): this site is far too hot for
+        per-write events, and with tracing disabled it costs exactly one
+        ``is None`` test.
+        """
         old = page.entries[index]
         page.entries[index] = value
         page.valid_count += int(pte_present(value)) - int(pte_present(old))
+        session = current_session()
+        if session is not None:
+            session.count("pvops.entry_writes")
         return old
 
 

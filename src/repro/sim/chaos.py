@@ -38,6 +38,8 @@ from repro.kernel.sysctl import MitosisMode, Sysctl
 from repro.machine.topology import Machine
 from repro.mitosis.daemon import MitosisDaemon
 from repro.sim.metrics import RunMetrics
+from repro.trace.integrate import publish_chaos_report
+from repro.trace.session import current_session
 from repro.units import KIB, MIB
 
 SCENARIOS: tuple[str, ...] = ("replication-oom", "shootdown-storm", "swap-stall")
@@ -86,9 +88,26 @@ class ChaosReport:
 
 
 def run_chaos(scenario: str, seed: int = 7) -> ChaosReport:
-    """Run one named scenario under a seeded fault plan; returns a report."""
+    """Run one named scenario under a seeded fault plan; returns a report.
+
+    With tracing enabled (see :mod:`repro.trace`) the whole scenario is
+    wrapped in a ``chaos.{scenario}`` root span, every injected fault
+    appears as a ``fault`` instant, and the report's counters are folded
+    into the session registry on completion.
+    """
     if scenario not in SCENARIOS:
         raise ValueError(f"unknown scenario {scenario!r}; choose from {SCENARIOS}")
+    session = current_session()
+    if session is None:
+        return _run_chaos(scenario, seed)
+    with session.span(f"chaos.{scenario}", category="chaos", seed=seed) as span:
+        report = _run_chaos(scenario, seed)
+        span.set(ok=report.ok, faults_injected=report.faults_injected)
+    publish_chaos_report(session, report)
+    return report
+
+
+def _run_chaos(scenario: str, seed: int) -> ChaosReport:
     runner = {
         "replication-oom": _run_replication_oom,
         "shootdown-storm": _run_shootdown_storm,

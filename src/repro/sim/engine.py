@@ -31,6 +31,7 @@ from repro.paging.walker import HardwareWalker
 from repro.sim.metrics import RunMetrics, ThreadMetrics
 from repro.tlb.mmu_cache import MmuCacheConfig, MmuCaches
 from repro.tlb.tlb import TlbConfig, TlbHierarchy
+from repro.trace.session import current_session
 from repro.units import KIB
 
 
@@ -122,6 +123,7 @@ class Simulator:
             kernel.cpu_contexts.append(context)
 
         walker = HardwareWalker(process.mm.tree)
+        session = current_session()
         streams = []
         for t, socket in enumerate(thread_sockets):
             kernel.scheduler.context_switch(process, socket)
@@ -130,6 +132,8 @@ class Simulator:
             vas = (np.asarray(offsets, dtype=np.int64) + va_base).tolist()
             streams.append((vas, writes.tolist()))
             metrics.threads.append(ThreadMetrics(thread=t, socket=socket))
+            if session is not None:
+                session.name_track(1 + t, f"thread-{t} (socket {socket})")
 
         hit_rate = workload.profile.data_llc_hit_rate
         pressure = workload.profile.pt_llc_pressure
@@ -147,6 +151,8 @@ class Simulator:
         for epoch in range(epochs):
             lo = epoch * per_epoch
             hi = config.accesses_per_thread if epoch == epochs - 1 else lo + per_epoch
+            if session is not None:
+                session.instant("epoch", category="engine", epoch=epoch)
             for t, socket in enumerate(thread_sockets):
                 vas, writes = streams[t]
                 self._run_thread(
@@ -170,7 +176,32 @@ class Simulator:
                 self._sync_robustness(metrics)
                 config.epoch_callback(epoch, metrics)
         self._sync_robustness(metrics)
+        if session is not None:
+            self._publish_trace(session, contexts, llcs, metrics)
         return metrics
+
+    def _publish_trace(self, session, contexts, llcs, metrics: RunMetrics) -> None:
+        """Flush the translation hardware's hit/miss/evict counters and
+        the finished run's perf-counter view into the trace session, so
+        one registry holds the whole run (docs/observability.md)."""
+        from repro.trace.integrate import publish_run_metrics
+
+        registry = session.metrics
+        for tlb, mmu in contexts:
+            registry.count("tlb.l1.hits", tlb.totals.l1.hits)
+            registry.count("tlb.l1.misses", tlb.totals.l1.misses)
+            registry.count("tlb.l2.hits", tlb.totals.l2.hits)
+            registry.count("tlb.l2.misses", tlb.totals.l2.misses)
+            registry.count("tlb.walks", tlb.totals.walks)
+            for structure in (tlb.l1_4k, tlb.l1_2m, tlb.l2_4k, tlb.l2_2m):
+                registry.count("tlb.evictions", structure.stats.evictions)
+            registry.count("mmu_cache.lookups", mmu.stats.lookups)
+            registry.count("mmu_cache.hits", mmu.stats.hits)
+            registry.count("mmu_cache.evictions", mmu.stats.evictions)
+        for node in sorted(llcs):
+            registry.count("llc.pt_hits", llcs[node].stats.hits)
+            registry.count("llc.pt_misses", llcs[node].stats.misses)
+        publish_run_metrics(session, metrics)
 
     def _sync_robustness(self, metrics: RunMetrics) -> None:
         """Mirror the kernel's fault-injection and resilience counters into
@@ -227,6 +258,11 @@ class Simulator:
         autonuma = kernel.autonuma if kernel.sysctl.autonuma_enabled else None
         sample_mask = self.config.autonuma_sample - 1
 
+        # Tracing: hoisted out of the loop so the disabled path costs one
+        # local None-check per *walk* (never per access) — the
+        # zero-overhead-when-disabled guarantee of docs/observability.md.
+        session = current_session()
+
         data_cycles = 0.0
         walk_cycles = 0.0
         walks = 0
@@ -242,7 +278,8 @@ class Simulator:
                 walks += 1
                 start = mmu.lookup(va)
                 result = walker.walk(va, socket, is_write, start=start)
-                if result.faulted:
+                faulted = result.faulted
+                if faulted:
                     fr = kernel.fault_handler.handle(
                         process,
                         va,
@@ -255,6 +292,8 @@ class Simulator:
                     result = walker.walk(va, socket, is_write)
                     assert result.translation is not None
                 leaf_access = result.accesses[-1]
+                walk_start = walk_cycles
+                trace_levels = [] if session is not None else None
                 for access in result.accesses:
                     walk_refs += 1
                     hit = llc_access(access.line_addr)
@@ -264,13 +303,37 @@ class Simulator:
                         hit = False
                     if hit:
                         walk_llc_hits += 1
-                        walk_cycles += walk_llc_hit_cost
+                        cost = walk_llc_hit_cost
                     else:
-                        walk_cycles += walk_cost[access.node]
+                        cost = walk_cost[access.node]
+                    walk_cycles += cost
+                    if trace_levels is not None:
+                        trace_levels.append(
+                            {
+                                "level": access.level,
+                                "node": access.node,
+                                "remote": access.node != socket,
+                                "llc_hit": hit,
+                                "cycles": round(cost, 1),
+                            }
+                        )
                     if access.level > 1:
                         mmu.insert(va, registry[access.pfn])
                 translation = result.translation
                 tlb.insert(va, translation)
+                if session is not None:
+                    dur = walk_cycles - walk_start
+                    session.observe("walker.walk_cycles", dur)
+                    session.complete(
+                        "walk",
+                        category="walker",
+                        dur=dur,
+                        track=1 + out.thread,
+                        va=va,
+                        socket=socket,
+                        faulted=faulted,
+                        levels=trace_levels,
+                    )
             if hit_rolls[i]:
                 data_cycles += llc_hit_cost
             else:

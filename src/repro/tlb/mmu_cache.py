@@ -39,6 +39,8 @@ class MmuCacheStats:
     lookups: int = 0
     #: Hits per starting level.
     hits_at_level: dict[int, int] = field(default_factory=dict)
+    #: LRU victims pushed out by fills.
+    evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -91,6 +93,7 @@ class MmuCaches:
             return
         if len(cache) >= capacity:
             cache.popitem(last=False)
+            self.stats.evictions += 1
         cache[tag] = page
 
     def flush(self) -> None:

@@ -24,6 +24,8 @@ class TlbStats:
 
     hits: int = 0
     misses: int = 0
+    #: LRU victims pushed out by fills (capacity pressure, not shootdowns).
+    evictions: int = 0
 
     @property
     def accesses(self) -> int:
@@ -75,6 +77,7 @@ class Tlb:
             return
         if len(entry_set) >= self.ways:
             entry_set.popitem(last=False)
+            self.stats.evictions += 1
         entry_set[vpn] = translation
 
     def invalidate(self, va: int) -> None:

@@ -1,0 +1,45 @@
+"""Deterministic virtual clock for the trace timeline.
+
+Wall clocks are banned from the simulator (lint rule ``DET001``: a run
+must be a pure function of configuration and seed), so traces cannot be
+timestamped with ``time.time()``. Instead every :class:`TraceClock` keeps
+a *virtual* timeline:
+
+* recording an event **ticks** the clock by one unit, so distinct events
+  always get distinct, monotonically increasing timestamps;
+* instrumentation that knows the simulated cost of what it just recorded
+  **advances** the clock by that many cycles, so spans measured in cycles
+  (page walks, replication steps) have proportional extent on the
+  exported timeline.
+
+The unit is therefore "simulated cycles where known, one tick otherwise";
+two traces of the same seeded run are bit-identical.
+"""
+
+from __future__ import annotations
+
+
+class TraceClock:
+    """Monotonic virtual time source owned by one trace session."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual timestamp."""
+        return self._now
+
+    def tick(self) -> float:
+        """Advance by one unit and return the *new* timestamp."""
+        self._now += 1.0
+        return self._now
+
+    def advance(self, cycles: float) -> float:
+        """Advance by ``cycles`` (negative deltas are ignored) and return
+        the new timestamp."""
+        if cycles > 0.0:
+            self._now += cycles
+        return self._now

@@ -1,0 +1,61 @@
+"""The trace event record.
+
+Everything the tracing layer emits — spans, instants and counter samples
+— is one :class:`TraceEvent`. The record is deliberately flat and
+JSON-friendly: every sink (JSONL, Chrome ``trace_event``, in-memory)
+serialises it without further lookups, and test assertions can pattern
+match on plain attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: A timed region with a start and a duration (Chrome phase ``X``).
+KIND_SPAN = "span"
+#: A point-in-time marker (Chrome phase ``i``).
+KIND_INSTANT = "instant"
+#: A sampled numeric series value (Chrome phase ``C``).
+KIND_COUNTER = "counter"
+
+ALL_KINDS = (KIND_SPAN, KIND_INSTANT, KIND_COUNTER)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    Attributes:
+        name: What happened (``"walk"``, ``"fault"``, ``"mitosis.enable"``).
+        category: Dot-free subsystem tag used for filtering and for the
+            Chrome ``cat`` field (``"walker"``, ``"inject"``, ``"mitosis"``).
+        kind: One of :data:`KIND_SPAN` / :data:`KIND_INSTANT` /
+            :data:`KIND_COUNTER`.
+        ts: Virtual start timestamp (see :class:`~repro.trace.clock.TraceClock`).
+        dur: Extent in virtual time; 0 for instants and counter samples.
+        track: Logical timeline row (thread index, or 0 for the kernel /
+            control plane). Maps to ``tid`` in the Chrome export.
+        args: JSON-safe payload — per-level walk attribution, fault
+            context, masks, cycle costs.
+    """
+
+    name: str
+    category: str = ""
+    kind: str = KIND_INSTANT
+    ts: float = 0.0
+    dur: float = 0.0
+    track: int = 0
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat dict form used by the JSONL sink (stable key order)."""
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "kind": self.kind,
+            "ts": self.ts,
+            "dur": self.dur,
+            "track": self.track,
+            "args": dict(self.args),
+        }

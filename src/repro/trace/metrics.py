@@ -1,0 +1,111 @@
+"""Named counters and histograms for a trace session.
+
+The simulator already keeps many ad-hoc counter structs (``TlbStats``,
+``OpsStats``, ``ResilienceStats``, ...). The :class:`MetricsRegistry`
+gives them one namespaced home per trace session, so a chaos run, an
+engine run and the robustness machinery all report into the same place
+and one summary can render everything. Names are dotted paths
+(``tlb.l2.misses``, ``inject.mem.pagecache.refill``,
+``perf.dtlb_misses.walk_duration``).
+
+Counters are add-only floats. Histograms bucket observations by powers
+of two — coarse, constant-memory, and exactly enough to answer "how long
+do page walks take, and what's the tail?".
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+#: Power-of-two histogram boundaries: 1, 2, 4, ... 2^39 (~5.5e11), which
+#: comfortably covers cycle costs from an LLC hit to a full chaos run.
+_BOUNDARIES: tuple[float, ...] = tuple(float(1 << i) for i in range(40))
+
+
+@dataclass
+class Histogram:
+    """Power-of-two bucketed distribution of one observed quantity."""
+
+    name: str
+    #: counts[i] observations fell in (boundary[i-1], boundary[i]].
+    counts: list[int] = field(default_factory=lambda: [0] * (len(_BOUNDARIES) + 1))
+    total: float = 0.0
+    count: int = 0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(_BOUNDARIES, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Non-empty ``(upper_boundary, count)`` pairs, ascending. The
+        overflow bucket reports ``float('inf')`` as its boundary."""
+        out: list[tuple[float, int]] = []
+        for i, n in enumerate(self.counts):
+            if n:
+                bound = _BOUNDARIES[i] if i < len(_BOUNDARIES) else float("inf")
+                out.append((bound, n))
+        return out
+
+    def render(self) -> str:
+        return (
+            f"{self.name}: n={self.count} mean={self.mean:.1f} "
+            f"min={self.min:.1f} max={self.max:.1f}"
+        )
+
+
+class MetricsRegistry:
+    """All named counters and histograms of one session."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def count(self, name: str, delta: float = 1.0) -> None:
+        """Add ``delta`` to the counter ``name`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0.0) + delta
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Current value of counter ``name``."""
+        return self.counters.get(name, default)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram ``name`` (creating it)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        histogram.observe(value)
+
+    def merge_from(self, counters: dict[str, float], prefix: str = "") -> None:
+        """Bulk-add a plain ``name -> value`` mapping, optionally prefixed
+        (how :mod:`repro.trace.integrate` folds perf counters in)."""
+        dotted = f"{prefix}." if prefix and not prefix.endswith(".") else prefix
+        for name, value in counters.items():
+            self.count(f"{dotted}{name}", float(value))
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable table, counters sorted by name."""
+        lines = []
+        names = sorted(self.counters)
+        if limit is not None:
+            names = names[:limit]
+        width = max((len(n) for n in names), default=0)
+        for name in names:
+            value = self.counters[name]
+            text = f"{value:,.0f}" if value == int(value) else f"{value:,.1f}"
+            lines.append(f"  {name:<{width}}  {text}")
+        for name in sorted(self.histograms):
+            lines.append(f"  {self.histograms[name].render()}")
+        return "\n".join(lines) if lines else "  (no metrics recorded)"

@@ -1,0 +1,164 @@
+"""Pluggable trace sinks.
+
+A sink receives every :class:`~repro.trace.events.TraceEvent` the moment
+it is recorded (the session's ring buffer is independent — sinks never
+miss events to ring eviction) and is closed when tracing stops. Three
+are built in:
+
+* :class:`InMemorySink` — collects events in a list; the assertion
+  surface for tests ("did the walker emit spans with per-level socket
+  attribution?").
+* :class:`JsonlSink` — one JSON object per line, streamed as events
+  happen; greppable, tail-able, trivially parseable.
+* :class:`ChromeTraceSink` — buffers the run and writes a Chrome
+  ``trace_event`` JSON object file on close; load it at
+  https://ui.perfetto.dev or ``chrome://tracing`` for an interactive
+  timeline (docs/observability.md walks through it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any
+
+from repro.trace.events import KIND_COUNTER, KIND_SPAN, TraceEvent
+
+
+class Sink:
+    """Sink interface; subclasses override :meth:`handle` / :meth:`close`."""
+
+    def handle(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; called once by the session."""
+
+
+class InMemorySink(Sink):
+    """Keeps every event in a plain list for programmatic inspection."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.closed = False
+
+    def handle(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+    # -- query helpers (the test-assertion surface) ---------------------------
+
+    def named(self, name: str) -> list[TraceEvent]:
+        """Events with this exact name."""
+        return [e for e in self.events if e.name == name]
+
+    def spans(self, name: str | None = None, category: str | None = None) -> list[TraceEvent]:
+        """Span events, optionally filtered by name and/or category."""
+        return [
+            e for e in self.events
+            if e.kind == KIND_SPAN
+            and (name is None or e.name == name)
+            and (category is None or e.category == category)
+        ]
+
+    def categories(self) -> dict[str, int]:
+        """Event count per category."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.category] = out.get(event.category, 0) + 1
+        return out
+
+
+class JsonlSink(Sink):
+    """Streams events as JSON Lines to a path or an open text file."""
+
+    def __init__(self, target: str | Path | IO[str]):
+        if hasattr(target, "write"):
+            self._file: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._file = open(target, "w", encoding="utf-8")
+            self._owned = True
+
+    def handle(self, event: TraceEvent) -> None:
+        json.dump(event.to_dict(), self._file, sort_keys=True, default=str)
+        self._file.write("\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owned:
+            self._file.close()
+
+
+class ChromeTraceSink(Sink):
+    """Exports the Chrome ``trace_event`` JSON-object format.
+
+    The mapping (see the trace-event format spec):
+
+    * spans -> complete events (``"ph": "X"``) with ``ts``/``dur``;
+    * instants -> ``"ph": "i"`` with thread scope;
+    * counter samples -> ``"ph": "C"``;
+    * session track names -> ``thread_name`` metadata (``"ph": "M"``),
+      which Perfetto uses as row labels.
+
+    Timestamps are the session's virtual clock exported 1:1 as
+    microseconds — absolute times are meaningless (the simulator has no
+    wall clock), relative extents are simulated cycles where known.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._events: list[dict[str, Any]] = []
+        self._session = None
+
+    def open_session(self, session) -> None:
+        """Called by the CLI/helpers so metadata and track names land in
+        the export; optional (a bare sink still produces a valid file)."""
+        self._session = session
+
+    def handle(self, event: TraceEvent) -> None:
+        record: dict[str, Any] = {
+            "name": event.name,
+            "cat": event.category or "repro",
+            "pid": 1,
+            "tid": event.track,
+            "ts": event.ts,
+            "args": dict(event.args),
+        }
+        if event.kind == KIND_SPAN:
+            record["ph"] = "X"
+            record["dur"] = max(event.dur, 0.001)  # Perfetto hides 0-width slices
+        elif event.kind == KIND_COUNTER:
+            record["ph"] = "C"
+            record["args"] = {"value": event.args.get("value", 0.0)}
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        self._events.append(record)
+
+    def close(self) -> None:
+        metadata: list[dict[str, Any]] = [
+            {
+                "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                "args": {"name": "repro simulator"},
+            }
+        ]
+        other: dict[str, Any] = {}
+        if self._session is not None:
+            other = dict(self._session.metadata)
+            for track, label in sorted(self._session.track_names.items()):
+                metadata.append(
+                    {
+                        "name": "thread_name", "ph": "M", "pid": 1,
+                        "tid": track, "args": {"name": label},
+                    }
+                )
+        document = {
+            "traceEvents": metadata + self._events,
+            "displayTimeUnit": "ms",
+            "otherData": other,
+        }
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, default=str)

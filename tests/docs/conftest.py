@@ -1,0 +1,21 @@
+"""Shared paths for the documentation-consistency gate."""
+
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def repo_root():
+    return REPO_ROOT
+
+
+@pytest.fixture(scope="session")
+def markdown_pages(repo_root):
+    """Every page the docs gate covers: README + all of docs/."""
+    pages = [repo_root / "README.md"]
+    pages += sorted((repo_root / "docs").glob("*.md"))
+    assert len(pages) >= 7  # README + six docs pages
+    return pages

@@ -1,0 +1,113 @@
+"""The docs gate: CLI/docs parity and link integrity.
+
+Documentation drifts silently — a renamed subcommand, a moved page, a
+deleted example. These tests make the drift loud: every CLI subcommand
+must appear in the README and the docs, every relative markdown link must
+resolve, and docs/index.md must list every docs page.
+"""
+
+import re
+
+from repro.cli import build_parser
+
+# [text](target) — excludes autolinks (<http://...>) and reference-style
+# definitions, which the docs don't use for local files.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def cli_subcommands():
+    """Top-level subcommand names, straight from the argparse tree."""
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if hasattr(action, "choices") and action.choices
+    )
+    return sorted(subparsers.choices)
+
+
+class TestCliDocumented:
+    def test_parser_knows_the_expected_commands(self):
+        assert set(cli_subcommands()) == {
+            "numactl", "scenario", "dump", "table4", "chaos", "lint", "trace",
+        }
+
+    def test_every_subcommand_appears_in_readme(self, repo_root):
+        readme = (repo_root / "README.md").read_text()
+        missing = [c for c in cli_subcommands() if c not in readme]
+        assert not missing, f"README.md does not mention: {missing}"
+
+    def test_every_subcommand_appears_in_docs(self, repo_root):
+        corpus = "".join(
+            page.read_text() for page in (repo_root / "docs").glob("*.md")
+        )
+        missing = [c for c in cli_subcommands() if c not in corpus]
+        assert not missing, f"docs/ never mention: {missing}"
+
+    def test_cli_module_docstring_mentions_every_subcommand(self):
+        import repro.cli
+
+        doc = repro.cli.__doc__ or ""
+        missing = [c for c in cli_subcommands() if c not in doc]
+        assert not missing, f"repro.cli docstring does not mention: {missing}"
+
+
+class TestLinks:
+    def relative_links(self, page):
+        for target in _LINK.findall(page.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            yield target.split("#", 1)[0]
+
+    def test_relative_links_resolve(self, markdown_pages):
+        broken = []
+        for page in markdown_pages:
+            for target in self.relative_links(page):
+                if not (page.parent / target).exists():
+                    broken.append(f"{page.name}: {target}")
+        assert not broken, f"broken links: {broken}"
+
+    def test_pages_actually_contain_relative_links(self, markdown_pages):
+        # Guard against the link regex rotting into matching nothing.
+        total = sum(len(list(self.relative_links(p))) for p in markdown_pages)
+        assert total >= 10
+
+
+class TestIndexCompleteness:
+    def test_index_lists_every_docs_page(self, repo_root):
+        index = (repo_root / "docs" / "index.md").read_text()
+        pages = sorted((repo_root / "docs").glob("*.md"))
+        missing = [
+            p.name for p in pages if p.name != "index.md" and p.name not in index
+        ]
+        assert not missing, f"docs/index.md does not list: {missing}"
+
+    def test_readme_links_every_docs_page(self, repo_root):
+        readme = (repo_root / "README.md").read_text()
+        pages = sorted((repo_root / "docs").glob("*.md"))
+        missing = [p.name for p in pages if f"docs/{p.name}" not in readme]
+        assert not missing, f"README.md docs map does not link: {missing}"
+
+
+class TestObservabilityPage:
+    def test_exists_and_covers_the_contract(self, repo_root):
+        page = (repo_root / "docs" / "observability.md").read_text()
+        for required in (
+            "TraceSession",
+            "InMemorySink",
+            "JsonlSink",
+            "ChromeTraceSink",
+            "ui.perfetto.dev",
+            "current_session",
+            "examples/tracing_walkthrough.py",
+        ):
+            assert required in page, f"observability.md lost: {required}"
+
+    def test_walkthrough_example_exists_and_mentions_the_docs(self, repo_root):
+        script = repo_root / "examples" / "tracing_walkthrough.py"
+        assert script.exists()
+        assert "docs/observability.md" in script.read_text()
+
+    def test_cross_linked_from_robustness_and_static_analysis(self, repo_root):
+        for name in ("robustness.md", "static-analysis.md"):
+            text = (repo_root / "docs" / name).read_text()
+            assert "observability.md" in text, f"{name} lacks the cross-link"

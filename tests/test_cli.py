@@ -137,6 +137,69 @@ class TestChaos:
         assert "0 bypass(es)" in out
 
 
+class TestTrace:
+    def test_traced_chaos_exports_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code, out, _ = run(
+            capsys, "trace", "--out", str(out_path), "chaos", "--seed", "7"
+        )
+        assert code == 0
+        assert "verifier: OK" in out
+        assert "trace written to" in out
+        assert "trace summary:" in out
+        document = json.loads(out_path.read_text())
+        names = [e["name"] for e in document["traceEvents"]]
+        assert "chaos.replication-oom" in names
+        assert "fault" in names
+
+    def test_jsonl_export(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "events.jsonl"
+        code, _, _ = run(
+            capsys, "trace", "--out", str(out_path), "--export", "jsonl",
+            "chaos", "--seed", "7",
+        )
+        assert code == 0
+        records = [json.loads(l) for l in out_path.read_text().splitlines()]
+        assert any(r["name"] == "fault" for r in records)
+
+    def test_no_summary_flag(self, capsys, tmp_path):
+        code, out, _ = run(
+            capsys, "trace", "--out", str(tmp_path / "t.json"), "--no-summary",
+            "chaos", "--seed", "7",
+        )
+        assert code == 0
+        assert "trace summary:" not in out
+
+    def test_session_uninstalled_after_run(self, capsys, tmp_path):
+        from repro.trace import current_session
+
+        run(capsys, "trace", "--out", str(tmp_path / "t.json"), "chaos", "--seed", "7")
+        assert current_session() is None
+
+    def test_traced_numactl_emits_walker_spans(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "numactl.json"
+        code, out, _ = run(
+            capsys, "trace", "--out", str(out_path), "numactl", "gups",
+            "--sockets", "2", "--footprint-mib", "16", "--accesses", "2000",
+        )
+        assert code == 0
+        assert "runtime_cycles=" in out
+        document = json.loads(out_path.read_text())
+        walks = [e for e in document["traceEvents"] if e["name"] == "walk"]
+        assert walks
+        assert all(e["ph"] == "X" for e in walks)
+
+    def test_trace_requires_a_subcommand(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            run(capsys, "trace", "--out", str(tmp_path / "t.json"))
+
+
 class TestLint:
     def test_repo_is_clean_with_baseline(self, capsys):
         code, out, _ = run(capsys, "lint")

@@ -1,0 +1,11 @@
+"""Every trace test leaves the process-wide session uninstalled."""
+
+import pytest
+
+from repro.trace.session import stop_tracing
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    yield
+    stop_tracing()

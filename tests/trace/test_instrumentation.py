@@ -1,0 +1,144 @@
+"""Tracing threaded through the simulator's hot paths.
+
+The acceptance surface of the tracing layer: an engine run under a
+session emits walker spans with per-level socket attribution; a chaos
+scenario exports a loadable Chrome trace with fault instants and the
+degrade/recover arc; everything stays silent when tracing is off.
+"""
+
+import json
+
+from repro.inject.plan import FaultPlan, SITE_ALLOCATOR_OOM
+from repro.sim.chaos import run_chaos
+from repro.sim.scenario import run_multisocket
+from repro.trace import ChromeTraceSink, InMemorySink, current_session, tracing
+
+SMALL = dict(footprint=8 * 1024 * 1024, n_sockets=2)
+
+
+def small_run(sink):
+    with tracing(sinks=[sink]) as session:
+        result = run_multisocket("gups", "F+M", **SMALL)
+    return session, result
+
+
+class TestWalkerSpans:
+    def test_walk_spans_carry_per_level_socket_attribution(self):
+        sink = InMemorySink()
+        small_run(sink)
+        walks = sink.spans("walk", category="walker")
+        assert walks, "engine emitted no walker spans"
+        for span in walks[:50]:
+            levels = span.args["levels"]
+            assert levels, "walk span without per-level attribution"
+            # Levels descend toward the leaf; every access names its socket.
+            assert [a["level"] for a in levels] == sorted(
+                (a["level"] for a in levels), reverse=True
+            )
+            for access in levels:
+                assert access["node"] in (0, 1)
+                assert isinstance(access["llc_hit"], bool)
+                assert access["cycles"] > 0
+                assert access["remote"] == (access["node"] != span.args["socket"])
+            assert span.args["socket"] in (0, 1)
+            assert span.dur > 0
+
+    def test_walk_spans_land_on_thread_tracks(self):
+        sink = InMemorySink()
+        session, _ = small_run(sink)
+        tracks = {span.track for span in sink.spans("walk")}
+        assert tracks <= set(session.track_names)
+        assert all("socket" in session.track_names[t] for t in tracks)
+
+    def test_replicated_run_emits_mitosis_events(self):
+        sink = InMemorySink()
+        small_run(sink)
+        assert sink.named("replicate-table") or sink.spans("mitosis.enable")
+
+    def test_counters_flow_into_the_session_registry(self):
+        sink = InMemorySink()
+        session, result = small_run(sink)
+        metrics = session.metrics
+        assert metrics.get("tlb.walks") > 0
+        assert metrics.get("pvops.entry_writes") > 0
+        # RunMetrics integration: the perf-counter view lands under perf.
+        assert metrics.get("perf.dtlb_misses.miss_causes_a_walk") == metrics.get(
+            "tlb.walks"
+        )
+        assert "walker.walk_cycles" in metrics.histograms
+
+    def test_run_metrics_instant_published(self):
+        sink = InMemorySink()
+        session, result = small_run(sink)
+        (published,) = sink.named("run-metrics")
+        assert published.args["runtime_cycles"] > 0
+
+
+class TestChaosTracing:
+    def test_chrome_export_of_a_chaos_scenario_is_loadable(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        sink = ChromeTraceSink(path)
+        with tracing(sinks=[sink]) as session:
+            sink.open_session(session)
+            report = run_chaos("replication-oom", seed=7)
+        assert report.ok
+        document = json.loads(path.read_text())
+        names = [e["name"] for e in document["traceEvents"]]
+        assert "chaos.replication-oom" in names
+        assert "fault" in names
+        root = next(
+            e for e in document["traceEvents"] if e["name"] == "chaos.replication-oom"
+        )
+        assert root["ph"] == "X"
+        assert root["args"]["ok"] is True
+
+    def test_fault_instants_carry_site_seq_and_seed(self):
+        sink = InMemorySink()
+        with tracing(sinks=[sink]):
+            run_chaos("replication-oom", seed=7)
+        faults = sink.named("fault")
+        assert faults
+        assert [f.args["seq"] for f in faults] == list(
+            range(1, len(faults) + 1)
+        )
+        for fault in faults:
+            assert fault.args["seed"] == 7
+            assert fault.args["site"] == "mem.pagecache.refill"
+
+    def test_degrade_recover_arc_on_the_timeline(self):
+        sink = InMemorySink()
+        with tracing(sinks=[sink]) as session:
+            run_chaos("replication-oom", seed=7)
+        assert sink.named("degraded")
+        assert sink.named("recovered")
+        assert sink.named("daemon-decision")
+        assert session.metrics.get("chaos.recoveries") == 1
+        assert session.metrics.get("inject.mem.pagecache.refill") == float(
+            session.metrics.get("chaos.faults_injected")
+        )
+
+    def test_daemon_backoff_span_extends_over_epochs(self):
+        sink = InMemorySink()
+        with tracing(sinks=[sink]):
+            run_chaos("replication-oom", seed=7)
+        backoffs = sink.spans("daemon.backoff", category="daemon")
+        assert backoffs
+        for span in backoffs:
+            assert span.dur == span.args["until_epoch"] - span.args["epoch"]
+
+
+class TestDisabledTracing:
+    def test_no_session_outside_tracing_context(self):
+        assert current_session() is None
+
+    def test_fault_plan_fires_without_a_session(self):
+        plan = FaultPlan(seed=3)
+        plan.oom_on_node(0)
+        assert plan.fire(SITE_ALLOCATOR_OOM, node=0) is not None
+        assert plan.stats.total == 1
+
+    def test_chaos_identical_with_and_without_tracing(self):
+        baseline = run_chaos("replication-oom", seed=13)
+        with tracing():
+            traced = run_chaos("replication-oom", seed=13)
+        assert traced.render() == baseline.render()

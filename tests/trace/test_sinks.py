@@ -1,0 +1,117 @@
+"""The sink catalogue: in-memory queries, JSONL streaming, Chrome export."""
+
+import io
+import json
+
+from repro.trace import (
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    TraceSession,
+    tracing,
+)
+
+
+def _populated_session(*sinks):
+    session = TraceSession(sinks=list(sinks), metadata={"scenario": "test"})
+    session.name_track(1, "thread-0 (socket 0)")
+    session.instant("fault", category="inject", track=0, site="mem.allocator.oom")
+    session.complete("walk", category="walker", dur=120.0, track=1, socket=0)
+    session.counter_sample("free_frames", 42.0)
+    session.close()
+    return session
+
+
+class TestInMemorySink:
+    def test_named_and_spans_queries(self):
+        sink = InMemorySink()
+        _populated_session(sink)
+        assert len(sink.named("fault")) == 1
+        assert len(sink.spans("walk")) == 1
+        assert len(sink.spans(category="walker")) == 1
+        assert sink.spans("nope") == []
+
+    def test_categories_counts(self):
+        sink = InMemorySink()
+        _populated_session(sink)
+        categories = sink.categories()
+        assert categories["inject"] == 1
+        assert categories["walker"] == 1
+
+
+class TestJsonlSink:
+    def test_streams_one_json_object_per_line(self):
+        buffer = io.StringIO()
+        _populated_session(JsonlSink(buffer))
+        lines = [l for l in buffer.getvalue().splitlines() if l]
+        assert len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert records[0]["name"] == "fault"
+        assert records[1]["kind"] == "span"
+        assert records[1]["dur"] == 120.0
+
+    def test_writes_to_a_path(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        _populated_session(JsonlSink(target))
+        lines = target.read_text().splitlines()
+        assert len(lines) == 3
+        assert json.loads(lines[2])["args"] == {"value": 42.0}
+
+
+class TestChromeTraceSink:
+    def _export(self, tmp_path, open_session=True):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(path)
+        session = TraceSession(sinks=[sink], metadata={"scenario": "test"})
+        if open_session:
+            sink.open_session(session)
+        session.name_track(1, "thread-0 (socket 0)")
+        session.instant("fault", category="inject", site="mem.allocator.oom")
+        session.complete("walk", category="walker", dur=120.0, track=1)
+        session.counter_sample("free_frames", 42.0)
+        session.close()
+        return json.loads(path.read_text())
+
+    def test_valid_trace_event_document(self, tmp_path):
+        document = self._export(tmp_path)
+        assert isinstance(document["traceEvents"], list)
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_phase_mapping(self, tmp_path):
+        document = self._export(tmp_path)
+        by_name = {e["name"]: e for e in document["traceEvents"]}
+        assert by_name["walk"]["ph"] == "X"
+        assert by_name["walk"]["dur"] == 120.0
+        assert by_name["fault"]["ph"] == "i"
+        assert by_name["free_frames"]["ph"] == "C"
+        assert by_name["free_frames"]["args"] == {"value": 42.0}
+
+    def test_track_names_become_thread_metadata(self, tmp_path):
+        document = self._export(tmp_path)
+        metas = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e["args"]["name"] for e in metas}
+        assert names["process_name"] == "repro simulator"
+        assert "thread_name" in names
+        assert any(
+            e["name"] == "thread_name" and e["args"]["name"] == "thread-0 (socket 0)"
+            for e in metas
+        )
+
+    def test_session_metadata_lands_in_other_data(self, tmp_path):
+        document = self._export(tmp_path)
+        assert document["otherData"] == {"scenario": "test"}
+
+    def test_bare_sink_without_open_session_still_valid(self, tmp_path):
+        document = self._export(tmp_path, open_session=False)
+        assert any(e["name"] == "walk" for e in document["traceEvents"])
+        assert document["otherData"] == {}
+
+    def test_tracing_context_writes_on_exit(self, tmp_path):
+        path = tmp_path / "scoped.json"
+        sink = ChromeTraceSink(path)
+        with tracing(sinks=[sink]) as session:
+            sink.open_session(session)
+            session.instant("x")
+            assert not path.exists()  # buffered until close
+        document = json.loads(path.read_text())
+        assert any(e["name"] == "x" for e in document["traceEvents"])

@@ -17,10 +17,13 @@ sub-commands for the experiment harnesses, the analysis tools, the chaos
     python -m repro chaos --scenario replication-oom --seed 7
     python -m repro lint --format json
     python -m repro trace --out trace.json chaos --scenario replication-oom
+    python -m repro perf --accesses 50000 --out BENCH_engine.json
 
 ``trace`` wraps any of the simulation sub-commands (``numactl``,
 ``scenario``, ``dump``, ``chaos``) in a :mod:`repro.trace` session and
-exports the timeline — see docs/observability.md.
+exports the timeline — see docs/observability.md. ``perf`` benchmarks
+the scalar-vs-vector interpreter tiers and writes ``BENCH_engine.json``
+— see docs/performance.md.
 """
 
 from __future__ import annotations
@@ -122,6 +125,30 @@ def _add_lint_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_perf_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--accesses", type=int, default=50_000,
+        help="simulated accesses per thread per measurement (default: 50000)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="measurements per engine per scenario; best is kept (default: 3)",
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run only this scenario (repeatable; default: all three)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_engine.json",
+        help="report path (default: BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if engines disagree on metrics or the vector "
+        "tier is slower than scalar on the GUPS gate scenario",
+    )
+
+
 #: Sub-commands ``trace`` can wrap: everything that actually drives the
 #: simulator (``lint`` and ``table4`` never emit trace events).
 TRACEABLE_COMMANDS: dict[str, tuple[str, object]] = {
@@ -144,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
         add_args(sub.add_parser(name, help=help_text))
 
     sub.add_parser("table4", help="print the Table 4 memory-overhead model")
+
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark the scalar vs vector engine tiers (docs/performance.md)",
+    )
+    _add_perf_args(perf)
 
     lint = sub.add_parser(
         "lint",
@@ -330,6 +363,43 @@ def _cmd_table4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """``repro perf``: benchmark the scalar vs vector engine tiers.
+
+    Runs the :mod:`repro.sim.bench` scenarios (best-of-``--repeat``
+    wall-clock per engine, fresh scenario per measurement), prints an
+    accesses/second table, and writes the ``repro-bench-engine/1`` report
+    to ``--out``. ``--check`` turns it into a regression gate: non-zero
+    exit when the engines' metrics differ anywhere or the vector tier is
+    slower than scalar on the GUPS scenario.
+    """
+    from repro.sim.bench import check_report, run_bench, write_report
+
+    try:
+        report = run_bench(
+            accesses=args.accesses, repeat=args.repeat, scenarios=args.scenario
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for name, result in report["scenarios"].items():
+        engines = result["engines"]
+        print(
+            f"{name:>18}: scalar {engines['scalar']['accesses_per_second']:>12,.0f} acc/s"
+            f"  vector {engines['vector']['accesses_per_second']:>12,.0f} acc/s"
+            f"  speedup {result['speedup']:.2f}x"
+            f"  metrics {'equal' if result['metrics_equal'] else 'DIFFER'}"
+        )
+    write_report(report, args.out)
+    print(f"report written to {args.out}")
+    if args.check:
+        problems = check_report(report)
+        for problem in problems:
+            print(f"check failed: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """``repro trace``: run a nested sub-command with a
     :mod:`repro.trace` session installed and export the timeline.
@@ -374,6 +444,7 @@ COMMANDS: dict[str, object] = {
     "chaos": _cmd_chaos,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
+    "perf": _cmd_perf,
 }
 
 

@@ -8,7 +8,7 @@ This package is that tooling, in two halves:
 
 * **static**: an AST-based analyzer (:mod:`repro.lint.core`) with named
   rules — ``PVOPS001``/``PVOPS002`` (PV-Ops bypasses),
-  ``DET001``/``DET002`` (reproducibility hazards) and ``FAULT001``
+  ``DET001``–``DET003`` (reproducibility hazards) and ``FAULT001``
   (unregistered fault-injection sites) — run via
   ``python -m repro.cli lint`` and gated in CI against a committed
   baseline (:mod:`repro.lint.baseline`);

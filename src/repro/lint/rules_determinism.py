@@ -18,6 +18,16 @@ iteration order depends on ``PYTHONHASHSEED`` for str/tuple elements, so
 the same seed can produce a different call sequence run-to-run.  Wrap the
 container in ``sorted(...)`` at the point of iteration.
 
+``DET003`` — builtin ``hash()`` used as a value.  ``hash()`` of a str /
+bytes / anything containing one is salted per *process* (PYTHONHASHSEED
+again), so deriving an RNG seed, a cache key that outlives the process,
+or any persisted number from it silently breaks "same seed, same run"
+across invocations — the exact bug that made every workload's address
+stream unreproducible until PR 4.  Use a stable digest instead
+(``zlib.crc32(name.encode())``, ``hashlib.sha256``).  ``__hash__``
+implementations are exempt: in-process hashing for dict/set membership
+is what the builtin is *for*.
+
 Both rules are syntactic: they see ``set(...)`` expressions, not values
 whose *type* happens to be a set — the reviewer and the
 :class:`~repro.lint.sanitizer.PTESanitizer` cover the rest.
@@ -219,4 +229,43 @@ class UnorderedIterationRule(Rule):
             and _is_unordered_expr(node.args[0])
         ):
             self._flag(node, "str.join(...)")
+        self.generic_visit(node)
+
+
+@register_rule
+class SaltedHashRule(Rule):
+    """DET003: builtin ``hash()`` is salted per process."""
+
+    name = "DET003"
+    description = (
+        "builtin hash() of a str is salted per process (PYTHONHASHSEED); "
+        "derive seeds and persisted keys from a stable digest "
+        "(zlib.crc32, hashlib) instead"
+    )
+
+    def __init__(self, module: str, path: str, source_lines: list[str]):
+        super().__init__(module, path, source_lines)
+        self._in_dunder_hash = 0
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        exempt = node.name == "__hash__"
+        self._in_dunder_hash += exempt
+        self.generic_visit(node)
+        self._in_dunder_hash -= exempt
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "hash"
+            and not self._in_dunder_hash
+        ):
+            self.report(
+                node,
+                "hash() is salted per process for str/bytes, so the value "
+                "differs run-to-run; use zlib.crc32 / hashlib for a stable "
+                "digest",
+            )
         self.generic_visit(node)

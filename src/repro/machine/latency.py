@@ -17,6 +17,7 @@ bandwidth of that socket's memory for everyone else.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.units import CACHE_LINE_SIZE, GIB
 
@@ -80,6 +81,32 @@ class MemoryTimings:
         latency = self.latency(socket, node, hogged=hogged) / mlp
         line = self.cycles_per_line(socket, node, hogged=hogged)
         return latency + line
+
+
+@lru_cache(maxsize=4096)
+def cost_table(
+    timings: MemoryTimings,
+    socket: int,
+    nodes: tuple[int, ...],
+    mlp: float,
+    hogged: frozenset[int],
+) -> tuple[float, ...]:
+    """Per-node access-cost table for one ``(socket, mlp, interference)``
+    state: ``table[node] -> cycles`` one access from ``socket`` to ``node``
+    contributes.
+
+    Both engine cost tables (data accesses at workload MLP, walker fetches
+    at page-walker MLP) are this table with a different ``mlp``; the cache
+    makes rebuilding it per thread-slice free across epochs — the inputs
+    only change when interference is hogged/released mid-run.
+    ``MemoryTimings`` is a frozen dataclass, so the memo key hashes by
+    value and survives across :class:`~repro.sim.engine.Simulator`
+    instances with identical machines.
+    """
+    return tuple(
+        timings.access_cycles(socket, node, mlp=mlp, hogged=(node in hogged))
+        for node in nodes
+    )
 
 
 @dataclass

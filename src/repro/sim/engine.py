@@ -15,25 +15,61 @@ reasons about:
 Latency is divided by the workload's memory-level parallelism (overlapped
 misses), the bandwidth term is not; interference inflates both for hogged
 nodes (see :mod:`repro.machine.latency`).
+
+Two interpreter tiers produce **bit-identical** metrics (the differential
+contract of docs/performance.md, enforced by
+``tests/sim/test_engine_equivalence.py``):
+
+* ``scalar`` — the reference per-access loop (:class:`_ThreadExecution`);
+* ``vector`` (default) — a numpy fast path that resolves *runs* of
+  guaranteed L1-TLB hits in bulk and escapes to the same scalar code for
+  everything stateful (misses, walks, faults, AutoNUMA samples). Batches
+  are validated in O(1) against :meth:`TlbHierarchy.fastpath_token`, whose
+  generation half is bumped by every shootdown/invalidation path.
+
+Select with ``EngineConfig(engine=...)`` or ``REPRO_ENGINE=scalar|vector``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.cache.llc import SocketLlc
+from repro.errors import TopologyError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process
+from repro.machine.latency import cost_table
 from repro.paging.walker import HardwareWalker
 from repro.sim.metrics import RunMetrics, ThreadMetrics
 from repro.tlb.mmu_cache import MmuCacheConfig, MmuCaches
-from repro.tlb.tlb import TlbConfig, TlbHierarchy
+from repro.tlb.tlb import Tlb, TlbConfig, TlbHierarchy
 from repro.trace.session import current_session
-from repro.units import KIB
+from repro.units import HUGE_PAGE_SHIFT, KIB, PAGE_SHIFT
 
+#: Engine names accepted by ``EngineConfig.engine`` / ``REPRO_ENGINE``.
+ENGINES: tuple[str, ...] = ("scalar", "vector")
+
+#: Accesses covered by one batch mask (one ``np.isin`` over the chunk).
+#: Chunks start small and double up to the cap: a mask built over a cold
+#: TLB is all-escapes, so short early chunks let the mask catch up with
+#: warmup fills quickly, while steady state pays one mask per 2048.
+_CHUNK_MIN = 256
+_CHUNK = 2048
+#: Below this run length the per-run numpy overhead exceeds scalar cost.
+_MIN_RUN = 32
+#: Deterministic bail-out: after this many accesses of a slice, if fewer
+#: than 1/4 were batchable the rest of the slice runs on the scalar tier
+#: (must span at least two chunks so the post-warmup mask gets a chance).
+_ADAPT_PROBE = 2 * _CHUNK
+#: After a snapshot rebuild, stale-token transitions keep escaping to the
+#: scalar tier for this many accesses instead of rebuilding again: near
+#: TLB capacity every walk evicts (bumping the token), and a rebuild per
+#: eviction costs far more than a few conservative scalar steps.
+_REBUILD_COOLDOWN = 64
 
 @dataclass
 class EngineConfig:
@@ -67,6 +103,329 @@ class EngineConfig:
     #: the §6.1 counter-driven policy daemon observes runs through.
     epoch_callback: "Callable[[int, RunMetrics], None] | None" = None
     seed: int = 7
+    #: Interpreter tier: "vector" (batched fast path) or "scalar" (the
+    #: reference per-access loop). ``None`` defers to the ``REPRO_ENGINE``
+    #: environment variable, then to "vector". Both tiers produce
+    #: bit-identical metrics (docs/performance.md).
+    engine: str | None = None
+
+
+def _chain_sum(carry: float, costs: np.ndarray) -> float:
+    """Left-to-right IEEE-754 sum of ``carry + costs[0] + costs[1] + ...``.
+
+    ``np.add.accumulate`` applies the ufunc strictly sequentially (unlike
+    ``np.sum``, which uses pairwise summation and rounds differently), so
+    this reproduces the scalar loop's running ``+=`` bit-for-bit — the
+    keystone of the engines' float-equality contract.
+    """
+    buffer = np.empty(costs.size + 1, dtype=np.float64)
+    buffer[0] = carry
+    buffer[1:] = costs
+    return float(np.add.accumulate(buffer)[-1])
+
+
+def _replay_promotions(structure: Tlb, vpns: np.ndarray) -> None:
+    """Replay the LRU effect of a batched run of hits on one TLB structure.
+
+    The scalar loop promotes on every hit; the final per-set LRU order
+    after a run only depends on each vpn's *last* access, so promoting the
+    unique vpns in ascending last-occurrence order leaves every set in the
+    exact state the scalar loop would. (Unique count is bounded by L1
+    capacity — at most ~72 entries — so the python loop is cheap.)
+    """
+    if not vpns.size:
+        return
+    # dict.fromkeys over the reversed run keeps first occurrences == last
+    # accesses, in descending last-occurrence order, at C speed.
+    unique_desc = dict.fromkeys(vpns[::-1].tolist())
+    touch = structure.touch
+    for vpn in reversed(unique_desc):
+        touch(vpn)
+
+
+#: Widest vpn span a dense residency LUT may cover (beyond it, fall back
+#: to sort-based lookups; L1 reach is tiny, so this only trips on wildly
+#: scattered mappings).
+_LUT_SPAN_MAX = 1 << 18
+
+
+class _ResidencyLut:
+    """O(1)-per-element membership + node lookup over one page size's
+    L1-resident vpns (one half of a batch-mask snapshot).
+
+    Resident vpns cluster inside the workload's contiguous mapping, so a
+    dense ``[vpn - base]``-indexed table beats ``np.isin``'s sort by a
+    wide margin; a sorted-array fallback covers pathological spans.
+    """
+
+    __slots__ = ("base", "span", "resident", "nodes", "vpns_sorted", "nodes_sorted")
+
+    def __init__(self, pairs: list[tuple[int, int]], frames_per_node: int):
+        if not pairs:
+            self.base = None
+            return
+        pairs.sort()
+        arr = np.asarray(pairs, dtype=np.int64)
+        vpns = np.ascontiguousarray(arr[:, 0])
+        nodes = arr[:, 1] // frames_per_node
+        span = int(vpns[-1] - vpns[0]) + 1
+        if span <= _LUT_SPAN_MAX:
+            self.base = int(vpns[0])
+            self.span = span
+            self.resident = np.zeros(span, dtype=bool)
+            self.nodes = np.zeros(span, dtype=np.int64)
+            offsets = vpns - self.base
+            self.resident[offsets] = True
+            self.nodes[offsets] = nodes
+        else:
+            self.base = -1
+            self.vpns_sorted = vpns
+            self.nodes_sorted = nodes
+
+    def contains(self, vpns: np.ndarray) -> np.ndarray:
+        """Boolean residency mask for a chunk of vpns."""
+        if self.base is None:
+            return np.zeros(vpns.size, dtype=bool)
+        if self.base < 0:
+            return np.isin(vpns, self.vpns_sorted)
+        rel = vpns - self.base
+        in_span = (rel >= 0) & (rel < self.span)
+        if in_span.all():
+            return self.resident[rel]
+        mask = np.zeros(vpns.size, dtype=bool)
+        mask[in_span] = self.resident[rel[in_span]]
+        return mask
+
+    def nodes_for(self, vpns: np.ndarray) -> np.ndarray:
+        """Home node per vpn (every vpn must be resident)."""
+        if self.base < 0:
+            return self.nodes_sorted[np.searchsorted(self.vpns_sorted, vpns)]
+        return self.nodes[vpns - self.base]
+
+
+def _snapshot_luts(tlb: TlbHierarchy, frames_per_node: int):
+    """Residency LUTs over every L1-resident translation:
+    ``(token, lut_4k, lut_2m)``."""
+    token, pairs_4k, pairs_2m = tlb.fastpath_snapshot()
+    return (
+        token,
+        _ResidencyLut(pairs_4k, frames_per_node),
+        _ResidencyLut(pairs_2m, frames_per_node),
+    )
+
+
+class _ThreadExecution:
+    """Per-(thread, epoch-slice) state shared by both interpreter tiers.
+
+    Owns the cost tables and the running accumulators; :meth:`run_span` is
+    the reference scalar interpreter and :meth:`step`/:meth:`walk_one` are
+    the single-access escape hatches the vector tier reuses, so a walk —
+    fault handling, LLC probes, MMU-cache fills, trace events — is the
+    same code on both tiers. Accumulators fold strictly left-to-right per
+    counter, which keeps the float totals identical no matter how a slice
+    is partitioned into batches and escapes.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        process: Process,
+        walker: HardwareWalker,
+        context: tuple[TlbHierarchy, MmuCaches],
+        llcs: dict[int, SocketLlc],
+        socket: int,
+        mlp: float,
+        out: ThreadMetrics,
+    ):
+        kernel = sim.kernel
+        config = sim.config
+        # Precomputed cost tables: [node] -> cycles for this socket. Data
+        # accesses overlap up to the workload's MLP; walks only up to the
+        # core's page-walker count.
+        walk_mlp = min(mlp, float(config.page_walkers))
+        nodes = tuple(kernel.machine.node_ids())
+        hogged = frozenset(kernel.contention.hogged_nodes)
+        self.data_cost = cost_table(kernel.timings, socket, nodes, mlp, hogged)
+        self.walk_cost = cost_table(kernel.timings, socket, nodes, walk_mlp, hogged)
+        self.llc_hit_cost = config.llc_hit_cycles / mlp
+        self.walk_llc_hit_cost = config.llc_hit_cycles / walk_mlp
+        self.frames_per_node = sim._frames_per_node
+        self.process = process
+        self.walker = walker
+        self.tlb, self.mmu = context
+        self.llc_access = llcs[socket].access
+        self.registry = process.mm.tree.registry
+        self.fault_handler = kernel.fault_handler
+        self.allow_huge = kernel.sysctl.thp_enabled
+        self.autonuma = kernel.autonuma if kernel.sysctl.autonuma_enabled else None
+        self.sample_mask = config.autonuma_sample - 1
+        self.socket = socket
+        # Tracing: hoisted out of the loop so the disabled path costs one
+        # local None-check per *walk* (never per access) — the
+        # zero-overhead-when-disabled guarantee of docs/observability.md.
+        self.session = current_session()
+        self.track = 1 + out.thread
+        self.data_cycles = 0.0
+        self.walk_cycles = 0.0
+        self.walks = 0
+        self.walk_refs = 0
+        self.walk_llc_hits = 0
+        self.faults = 0
+        self.fault_cycles = 0.0
+
+    def run_span(
+        self,
+        vas: list[int],
+        writes: list[bool],
+        hit_rolls: list[bool],
+        pollution_rolls: list[bool],
+        index_base: int = 0,
+    ) -> None:
+        """The reference per-access interpreter over one span of the slice.
+
+        ``index_base`` keeps AutoNUMA's 1-in-N sampling positions aligned
+        with the start of the epoch slice when the vector tier hands over
+        a tail mid-slice.
+        """
+        tlb = self.tlb
+        walk_one = self.walk_one
+        data_cost = self.data_cost
+        llc_hit_cost = self.llc_hit_cost
+        frames_per_node = self.frames_per_node
+        autonuma = self.autonuma
+        sample_mask = self.sample_mask
+        process = self.process
+        socket = self.socket
+        data_cycles = self.data_cycles
+        for i, va in enumerate(vas):
+            translation = tlb.lookup(va)
+            if translation is None:
+                translation = walk_one(va, writes[i], pollution_rolls[i])
+            if hit_rolls[i]:
+                data_cycles += llc_hit_cost
+            else:
+                data_cycles += data_cost[translation.pfn // frames_per_node]
+            if autonuma is not None and ((index_base + i) & sample_mask) == 0:
+                autonuma.record_access(process, va, socket)
+        self.data_cycles = data_cycles
+
+    def step(self, va: int, is_write: bool, hit_roll: bool, polluted: bool, index: int) -> None:
+        """One access on the scalar tier (the vector tier's escape hatch)."""
+        translation = self.tlb.lookup(va)
+        if translation is None:
+            translation = self.walk_one(va, is_write, polluted)
+        if hit_roll:
+            self.data_cycles += self.llc_hit_cost
+        else:
+            self.data_cycles += self.data_cost[translation.pfn // self.frames_per_node]
+        if self.autonuma is not None and (index & self.sample_mask) == 0:
+            self.autonuma.record_access(self.process, va, self.socket)
+
+    def walk_one(self, va: int, is_write: bool, polluted: bool):
+        """Full TLB-miss path: MMU-cache probe, hardware walk (servicing a
+        demand fault if needed), one LLC probe per fetched level, fills."""
+        self.walks += 1
+        mmu = self.mmu
+        walker = self.walker
+        socket = self.socket
+        start = mmu.lookup(va)
+        result = walker.walk(va, socket, is_write, start=start)
+        faulted = result.faulted
+        if faulted:
+            fr = self.fault_handler.handle(
+                self.process,
+                va,
+                socket,
+                is_write=is_write,
+                allow_huge=self.allow_huge,
+            )
+            self.faults += 1
+            self.fault_cycles += fr.work.cycles() + fr.io_cycles
+            result = walker.walk(va, socket, is_write)
+            assert result.translation is not None
+        accesses = result.accesses
+        leaf_access = accesses[-1]
+        llc_access = self.llc_access
+        walk_cost = self.walk_cost
+        walk_llc_hit_cost = self.walk_llc_hit_cost
+        registry = self.registry
+        walk_cycles = self.walk_cycles
+        walk_llc_hits = self.walk_llc_hits
+        session = self.session
+        if session is None:
+            for access in accesses:
+                hit = llc_access(access.line_addr)
+                if hit and access is leaf_access and polluted:
+                    # Data traffic evicted this leaf PTE line since the
+                    # last walk that used it (shared-LLC contention).
+                    hit = False
+                if hit:
+                    walk_llc_hits += 1
+                    walk_cycles += walk_llc_hit_cost
+                else:
+                    walk_cycles += walk_cost[access.node]
+                if access.level > 1:
+                    mmu.insert(va, registry[access.pfn])
+            self.walk_cycles = walk_cycles
+            self.walk_llc_hits = walk_llc_hits
+            translation = result.translation
+            self.tlb.insert(va, translation)
+        else:
+            walk_start = walk_cycles
+            level_records = []
+            record = level_records.append
+            for access in accesses:
+                hit = llc_access(access.line_addr)
+                if hit and access is leaf_access and polluted:
+                    hit = False
+                if hit:
+                    walk_llc_hits += 1
+                    cost = walk_llc_hit_cost
+                else:
+                    cost = walk_cost[access.node]
+                walk_cycles += cost
+                record((access.level, access.node, hit, cost))
+                if access.level > 1:
+                    mmu.insert(va, registry[access.pfn])
+            self.walk_cycles = walk_cycles
+            self.walk_llc_hits = walk_llc_hits
+            translation = result.translation
+            self.tlb.insert(va, translation)
+            dur = walk_cycles - walk_start
+            session.observe("walker.walk_cycles", dur)
+            session.complete(
+                "walk",
+                category="walker",
+                dur=dur,
+                track=self.track,
+                va=va,
+                socket=socket,
+                faulted=faulted,
+                levels=[
+                    {
+                        "level": level,
+                        "node": node,
+                        "remote": node != socket,
+                        "llc_hit": hit,
+                        "cycles": round(cost, 1),
+                    }
+                    for level, node, hit, cost in level_records
+                ],
+            )
+        self.walk_refs += len(accesses)
+        return translation
+
+    def finish(self, out: ThreadMetrics, n_accesses: int) -> None:
+        """Fold this slice's accumulators into the thread metrics."""
+        out.accesses += n_accesses
+        out.data_cycles += self.data_cycles
+        out.walk_cycles += self.walk_cycles
+        out.fault_cycles += self.fault_cycles
+        out.tlb_walks += self.walks
+        out.tlb_lookups += n_accesses
+        out.faults += self.faults
+        out.walk_memory_refs += self.walk_refs
+        out.walk_llc_hits += self.walk_llc_hits
 
 
 class Simulator:
@@ -75,13 +434,23 @@ class Simulator:
     def __init__(self, kernel: Kernel, config: EngineConfig | None = None):
         self.kernel = kernel
         self.config = config or EngineConfig()
+        engine = self.config.engine or os.environ.get("REPRO_ENGINE") or "vector"
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {', '.join(ENGINES)} "
+                "(EngineConfig.engine or REPRO_ENGINE)"
+            )
+        self.engine = engine
         machine = kernel.machine
         # Homogeneous PFN partition -> O(1) node-of-pfn.
         self._frames_per_node = machine.sockets[0].memory_bytes // 4096
         for socket in machine.sockets:
-            assert socket.memory_bytes // 4096 == self._frames_per_node, (
-                "engine fast path assumes homogeneous nodes"
-            )
+            if socket.memory_bytes // 4096 != self._frames_per_node:
+                raise TopologyError(
+                    "engine fast path assumes homogeneous nodes: socket "
+                    f"{socket.socket_id} has {socket.memory_bytes} bytes, "
+                    f"expected {self._frames_per_node * 4096}"
+                )
 
     def run(
         self,
@@ -124,13 +493,15 @@ class Simulator:
 
         walker = HardwareWalker(process.mm.tree)
         session = current_session()
+        # Streams stay numpy end-to-end; the scalar tier converts its span
+        # to python lists at the edge (list iteration is faster there).
         streams = []
         for t, socket in enumerate(thread_sockets):
             kernel.scheduler.context_switch(process, socket)
             offsets = workload.offsets(t, n_threads, config.accesses_per_thread)
             writes = workload.writes(t, config.accesses_per_thread)
-            vas = (np.asarray(offsets, dtype=np.int64) + va_base).tolist()
-            streams.append((vas, writes.tolist()))
+            vas = np.asarray(offsets, dtype=np.int64) + va_base
+            streams.append((vas, np.asarray(writes)))
             metrics.threads.append(ThreadMetrics(thread=t, socket=socket))
             if session is not None:
                 session.name_track(1 + t, f"thread-{t} (socket {socket})")
@@ -139,14 +510,15 @@ class Simulator:
         pressure = workload.profile.pt_llc_pressure
         rng = np.random.default_rng(config.seed)
         rolls = [
-            (rng.random(config.accesses_per_thread) < hit_rate).tolist()
+            rng.random(config.accesses_per_thread) < hit_rate
             for _ in range(n_threads)
         ]
         pollution = [
-            (rng.random(config.accesses_per_thread) < pressure).tolist()
+            rng.random(config.accesses_per_thread) < pressure
             for _ in range(n_threads)
         ]
 
+        run_thread = self._run_thread if self.engine == "scalar" else self._run_thread_vector
         per_epoch = config.accesses_per_thread // epochs
         for epoch in range(epochs):
             lo = epoch * per_epoch
@@ -155,7 +527,7 @@ class Simulator:
                 session.instant("epoch", category="engine", epoch=epoch)
             for t, socket in enumerate(thread_sockets):
                 vas, writes = streams[t]
-                self._run_thread(
+                run_thread(
                     process,
                     walker,
                     contexts[t],
@@ -216,7 +588,7 @@ class Simulator:
             metrics.retries = resilience.retries
             metrics.recoveries = resilience.recoveries
 
-    # -- hot loop ---------------------------------------------------------------
+    # -- scalar tier ------------------------------------------------------------
 
     def _run_thread(
         self,
@@ -225,128 +597,171 @@ class Simulator:
         context: tuple[TlbHierarchy, MmuCaches],
         llcs: dict[int, SocketLlc],
         socket: int,
-        vas: list[int],
-        writes: list[bool],
-        hit_rolls: list[bool],
-        pollution_rolls: list[bool],
+        vas: np.ndarray,
+        writes: np.ndarray,
+        hit_rolls: np.ndarray,
+        pollution_rolls: np.ndarray,
         mlp: float,
         out: ThreadMetrics,
     ) -> None:
-        kernel = self.kernel
-        timings = kernel.timings
-        hogged = kernel.contention.hogged_nodes
-        nodes = kernel.machine.node_ids()
-        # Precomputed cost tables: [node] -> cycles for this socket. Data
-        # accesses overlap up to the workload's MLP; walks only up to the
-        # core's page-walker count.
-        walk_mlp = min(mlp, float(self.config.page_walkers))
-        data_cost = [
-            timings.access_cycles(socket, node, mlp=mlp, hogged=(node in hogged))
-            for node in nodes
-        ]
-        walk_cost = [
-            timings.access_cycles(socket, node, mlp=walk_mlp, hogged=(node in hogged))
-            for node in nodes
-        ]
-        llc_hit_cost = self.config.llc_hit_cycles / mlp
-        walk_llc_hit_cost = self.config.llc_hit_cycles / walk_mlp
-        frames_per_node = self._frames_per_node
-        tlb, mmu = context
-        llc = llcs[socket]
-        llc_access = llc.access
-        registry = process.mm.tree.registry
-        autonuma = kernel.autonuma if kernel.sysctl.autonuma_enabled else None
-        sample_mask = self.config.autonuma_sample - 1
+        """Reference tier: the per-access interpreter over the whole slice."""
+        ex = _ThreadExecution(self, process, walker, context, llcs, socket, mlp, out)
+        ex.run_span(
+            vas.tolist(), writes.tolist(), hit_rolls.tolist(), pollution_rolls.tolist()
+        )
+        ex.finish(out, int(vas.size))
 
-        # Tracing: hoisted out of the loop so the disabled path costs one
-        # local None-check per *walk* (never per access) — the
-        # zero-overhead-when-disabled guarantee of docs/observability.md.
-        session = current_session()
+    # -- vector tier ------------------------------------------------------------
 
-        data_cycles = 0.0
-        walk_cycles = 0.0
-        walks = 0
-        walk_refs = 0
-        walk_llc_hits = 0
-        faults = 0
-        fault_cycles = 0.0
+    def _run_thread_vector(
+        self,
+        process: Process,
+        walker: HardwareWalker,
+        context: tuple[TlbHierarchy, MmuCaches],
+        llcs: dict[int, SocketLlc],
+        socket: int,
+        vas: np.ndarray,
+        writes: np.ndarray,
+        hit_rolls: np.ndarray,
+        pollution_rolls: np.ndarray,
+        mlp: float,
+        out: ThreadMetrics,
+    ) -> None:
+        """Batch tier: resolve runs of guaranteed L1-TLB hits in bulk.
 
-        for i, va in enumerate(vas):
-            is_write = writes[i]
-            translation = tlb.lookup(va)
-            if translation is None:
-                walks += 1
-                start = mmu.lookup(va)
-                result = walker.walk(va, socket, is_write, start=start)
-                faulted = result.faulted
-                if faulted:
-                    fr = kernel.fault_handler.handle(
-                        process,
-                        va,
-                        socket,
-                        is_write=is_write,
-                        allow_huge=kernel.sysctl.thp_enabled,
+        A *run* is a maximal stretch of accesses whose pages were all
+        L1-resident when the batch mask was built. During a run of hits
+        the TLB performs no fills or evictions, so residency at run start
+        guarantees every access in it hits — the bulk replay (stats adds,
+        last-occurrence LRU promotions, ``_chain_sum`` cost folding)
+        reproduces the scalar tier's state transitions exactly. Anything
+        else — miss, fault, short run — escapes to ``_ThreadExecution``'s
+        scalar code. Masks are revalidated against ``fastpath_token()``
+        before every batched run, so a shootdown / replication change /
+        migration (which bump the TLB generation) forces a re-resolve and
+        a stale batched translation is impossible.
+        """
+        ex = _ThreadExecution(self, process, walker, context, llcs, socket, mlp, out)
+        n = int(vas.size)
+        if n == 0:
+            ex.finish(out, 0)
+            return
+        tlb = ex.tlb
+        vpn4 = vas >> PAGE_SHIFT
+        vpn2 = vas >> HUGE_PAGE_SHIFT
+        data_cost_arr = np.asarray(ex.data_cost, dtype=np.float64)
+        autonuma = ex.autonuma
+        sample_mask = ex.sample_mask
+        l1_4k = tlb.l1_4k
+        l1_2m = tlb.l1_2m
+        totals_l1 = tlb.totals.l1
+
+        snap_token: tuple[int, int] | None = None
+        snap_walks = -1
+        lut_4k: _ResidencyLut | None = None
+        lut_2m: _ResidencyLut | None = None
+        mask_4k: np.ndarray | None = None
+        ok: np.ndarray | None = None
+        chunk_lo = 0
+        chunk_hi = 0
+        chunk_size = _CHUNK_MIN
+        fast = 0
+        cooldown = 0
+        i = 0
+        while i < n:
+            if i >= chunk_hi:
+                ok = None
+            elif ok is not None and ok[i - chunk_lo] and tlb.fastpath_token() != snap_token:
+                # An escape evicted or invalidated entries after this mask
+                # was built; it can no longer be trusted for batching.
+                if i < cooldown:
+                    # Recently rebuilt: take the (always sound) scalar
+                    # step rather than rebuilding on every eviction.
+                    ex.step(
+                        int(vas[i]), bool(writes[i]), bool(hit_rolls[i]),
+                        bool(pollution_rolls[i]), i,
                     )
-                    faults += 1
-                    fault_cycles += fr.work.cycles() + fr.io_cycles
-                    result = walker.walk(va, socket, is_write)
-                    assert result.translation is not None
-                leaf_access = result.accesses[-1]
-                walk_start = walk_cycles
-                trace_levels = [] if session is not None else None
-                for access in result.accesses:
-                    walk_refs += 1
-                    hit = llc_access(access.line_addr)
-                    if hit and access is leaf_access and pollution_rolls[i]:
-                        # Data traffic evicted this leaf PTE line since the
-                        # last walk that used it (shared-LLC contention).
-                        hit = False
-                    if hit:
-                        walk_llc_hits += 1
-                        cost = walk_llc_hit_cost
-                    else:
-                        cost = walk_cost[access.node]
-                    walk_cycles += cost
-                    if trace_levels is not None:
-                        trace_levels.append(
-                            {
-                                "level": access.level,
-                                "node": access.node,
-                                "remote": access.node != socket,
-                                "llc_hit": hit,
-                                "cycles": round(cost, 1),
-                            }
-                        )
-                    if access.level > 1:
-                        mmu.insert(va, registry[access.pfn])
-                translation = result.translation
-                tlb.insert(va, translation)
-                if session is not None:
-                    dur = walk_cycles - walk_start
-                    session.observe("walker.walk_cycles", dur)
-                    session.complete(
-                        "walk",
-                        category="walker",
-                        dur=dur,
-                        track=1 + out.thread,
-                        va=va,
-                        socket=socket,
-                        faulted=faulted,
-                        levels=trace_levels,
+                    i += 1
+                    continue
+                ok = None
+            if ok is None:
+                # Deterministic economics, checked before every rebuild:
+                # when batching is not paying off (miss-heavy slice, or
+                # hits too scattered to form batchable runs), hand the
+                # rest to the reference loop.
+                if i >= _ADAPT_PROBE and fast * 4 < i:
+                    break
+                if tlb.fastpath_token() != snap_token or ex.walks != snap_walks:
+                    snap_token, lut_4k, lut_2m = _snapshot_luts(tlb, ex.frames_per_node)
+                    snap_walks = ex.walks
+                    cooldown = i + _REBUILD_COOLDOWN
+                chunk_lo = i
+                chunk_hi = min(i + chunk_size, n)
+                chunk_size = min(chunk_size * 2, _CHUNK)
+                mask_4k = lut_4k.contains(vpn4[chunk_lo:chunk_hi])
+                ok = mask_4k | lut_2m.contains(vpn2[chunk_lo:chunk_hi])
+            rel = i - chunk_lo
+            if not ok[rel]:
+                ex.step(
+                    int(vas[i]), bool(writes[i]), bool(hit_rolls[i]),
+                    bool(pollution_rolls[i]), i,
+                )
+                i += 1
+                continue
+            stops = np.flatnonzero(~ok[rel:])
+            k = int(stops[0]) if stops.size else int(ok.size) - rel
+            if k < _MIN_RUN:
+                # Guaranteed hits, but too short for numpy to pay off.
+                # Deliberately not counted as fast progress: a slice made
+                # of short scattered runs loses to mask-rebuild overhead
+                # and should bail to the reference loop.
+                for j in range(i, i + k):
+                    ex.step(
+                        int(vas[j]), bool(writes[j]), bool(hit_rolls[j]),
+                        bool(pollution_rolls[j]), j,
                     )
-            if hit_rolls[i]:
-                data_cycles += llc_hit_cost
+                i += k
+                continue
+            fast += k
+            # ---- batched run of k guaranteed L1 hits ------------------------
+            seg4 = mask_4k[rel:rel + k]
+            run4 = vpn4[i:i + k]
+            run2 = vpn2[i:i + k]
+            n4k = int(np.count_nonzero(seg4))
+            n2m = k - n4k
+            # Hierarchy counters, exactly as k scalar lookups would count
+            # them (a 2 MiB hit first misses the 4 KiB L1 structure).
+            totals_l1.hits += k
+            l1_4k.stats.hits += n4k
+            if n2m:
+                l1_4k.stats.misses += n2m
+                l1_2m.stats.hits += n2m
+            if n2m == 0:
+                node_idx = lut_4k.nodes_for(run4)
+                _replay_promotions(l1_4k, run4)
+            elif n4k == 0:
+                node_idx = lut_2m.nodes_for(run2)
+                _replay_promotions(l1_2m, run2)
             else:
-                data_cycles += data_cost[translation.pfn // frames_per_node]
-            if autonuma is not None and (i & sample_mask) == 0:
-                autonuma.record_access(process, va, socket)
-
-        out.accesses += len(vas)
-        out.data_cycles += data_cycles
-        out.walk_cycles += walk_cycles
-        out.fault_cycles += fault_cycles
-        out.tlb_walks += walks
-        out.tlb_lookups += len(vas)
-        out.faults += faults
-        out.walk_memory_refs += walk_refs
-        out.walk_llc_hits += walk_llc_hits
+                inv = ~seg4
+                node_idx = np.empty(k, dtype=np.int64)
+                node_idx[seg4] = lut_4k.nodes_for(run4[seg4])
+                node_idx[inv] = lut_2m.nodes_for(run2[inv])
+                _replay_promotions(l1_4k, run4[seg4])
+                _replay_promotions(l1_2m, run2[inv])
+            costs = np.where(hit_rolls[i:i + k], ex.llc_hit_cost, data_cost_arr[node_idx])
+            ex.data_cycles = _chain_sum(ex.data_cycles, costs)
+            if autonuma is not None:
+                sampled = np.flatnonzero((np.arange(i, i + k) & sample_mask) == 0)
+                for offset in sampled:
+                    p = i + int(offset)
+                    autonuma.record_access(process, int(vas[p]), socket)
+            i += k
+        if i < n:
+            # Adaptive bail-out: reference interpreter for the tail.
+            ex.run_span(
+                vas[i:].tolist(), writes[i:].tolist(),
+                hit_rolls[i:].tolist(), pollution_rolls[i:].tolist(),
+                index_base=i,
+            )
+        ex.finish(out, n)

@@ -88,6 +88,22 @@ class Tlb:
         for entry_set in self._sets:
             entry_set.clear()
 
+    def touch(self, vpn: int) -> None:
+        """LRU-promote a *known-resident* ``vpn`` without counting a hit.
+
+        The vector engine replays the promotions of a batched run of hits
+        in last-access order; the hit counters for the whole run are added
+        in bulk. Raises ``KeyError`` if the entry is not resident — the
+        batch was validated against stale state, which must never happen.
+        """
+        self._sets[vpn % self.n_sets].move_to_end(vpn)
+
+    def resident_items(self):
+        """Iterate ``(vpn, translation)`` over every resident entry (set
+        order, LRU order within a set — deterministic)."""
+        for entry_set in self._sets:
+            yield from entry_set.items()
+
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
 
@@ -130,7 +146,20 @@ class HierarchyStats:
 
 
 class TlbHierarchy:
-    """One core's two-level TLB (split-L1 + unified L2)."""
+    """One core's two-level TLB (split-L1 + unified L2).
+
+    Besides the hardware structures, the hierarchy keeps a
+    **generation-stamped translation cache**: per-page ``vpn -> (pfn,
+    generation)`` maps (one per page size) filled on every walk fill. The
+    ``generation`` counter is bumped by *every* path that can remove a
+    translation — :meth:`flush` and :meth:`invalidate_page`, through which
+    all shootdown/replication/migration invalidations funnel (see
+    ``repro.tlb.shootdown``). A consumer that captured translations at
+    generation *G* can therefore validate an entire batch in O(1): while
+    ``generation == G`` nothing has been removed, so every captured entry
+    is still live (new fills only *add*). This is what makes the vector
+    engine's batched runs sound (docs/performance.md).
+    """
 
     def __init__(self, config: TlbConfig | None = None):
         config = config or TlbConfig()
@@ -140,6 +169,14 @@ class TlbHierarchy:
         self.l2_4k = Tlb(config.l2_entries, config.l2_ways, PAGE_SHIFT, "l2-4k")
         self.l2_2m = Tlb(config.l2_huge_entries, config.l2_huge_ways, HUGE_PAGE_SHIFT, "l2-2m")
         self.totals = HierarchyStats()
+        #: Bumped on every invalidation (shootdowns, replication mask
+        #: changes, page migration all end in flush()/invalidate_page()).
+        self.generation = 0
+        #: vpn -> (pfn, generation-at-fill). For huge pages the stored pfn
+        #: is the last-walked 4 KiB subframe's; its node
+        #: (pfn // frames_per_node) is invariant across the huge page.
+        self._xlate_4k: dict[int, tuple[int, int]] = {}
+        self._xlate_2m: dict[int, tuple[int, int]] = {}
 
     def lookup(self, va: int) -> Translation | None:
         """Probe L1 then L2 (both page sizes); fills L1 on an L2 hit."""
@@ -166,8 +203,10 @@ class TlbHierarchy:
         self._fill_l1(va, translation)
         if translation.level == HUGE_LEAF_LEVEL:
             self.l2_2m.insert(va, translation)
+            self._xlate_2m[va >> HUGE_PAGE_SHIFT] = (translation.pfn, self.generation)
         else:
             self.l2_4k.insert(va, translation)
+            self._xlate_4k[va >> PAGE_SHIFT] = (translation.pfn, self.generation)
 
     def _fill_l1(self, va: int, translation: Translation) -> None:
         if translation.level == HUGE_LEAF_LEVEL:
@@ -178,10 +217,68 @@ class TlbHierarchy:
     def invalidate_page(self, va: int) -> None:
         for tlb in (self.l1_4k, self.l1_2m, self.l2_4k, self.l2_2m):
             tlb.invalidate(va)
+        self._xlate_4k.pop(va >> PAGE_SHIFT, None)
+        self._xlate_2m.pop(va >> HUGE_PAGE_SHIFT, None)
+        self.generation += 1
 
     def flush(self) -> None:
         for tlb in (self.l1_4k, self.l1_2m, self.l2_4k, self.l2_2m):
             tlb.flush()
+        self._xlate_4k.clear()
+        self._xlate_2m.clear()
+        self.generation += 1
+
+    def cached_translation(self, va: int) -> int | None:
+        """O(1) generation-validated translation-cache probe.
+
+        Returns the cached pfn for ``va`` (4 KiB probe first, like the
+        hardware lookup) or ``None`` when the record is missing or was
+        stamped before the last invalidation. Never touches LRU state or
+        hit/miss counters — this is the *software* cache the batch engine
+        validates against, not a hardware structure.
+        """
+        gen = self.generation
+        record = self._xlate_4k.get(va >> PAGE_SHIFT)
+        if record is not None and record[1] == gen:
+            return record[0]
+        record = self._xlate_2m.get(va >> HUGE_PAGE_SHIFT)
+        if record is not None and record[1] == gen:
+            return record[0]
+        return None
+
+    def fastpath_token(self) -> tuple[int, int]:
+        """Validity token for batched-run snapshots.
+
+        A snapshot of L1-resident translations stays *sound* while this
+        token is unchanged: the generation counts invalidations, the
+        eviction sum counts L1 capacity victims — the only two ways an
+        entry can leave L1. New fills only add entries, which at worst
+        makes a stale snapshot conservative (a would-be hit escapes to
+        the scalar path), never wrong.
+        """
+        return (self.generation, self.l1_4k.stats.evictions + self.l1_2m.stats.evictions)
+
+    def fastpath_snapshot(self) -> tuple[tuple[int, int], list[tuple[int, int]], list[tuple[int, int]]]:
+        """Capture every L1-resident translation as ``(vpn, pfn)`` pairs.
+
+        Returns ``(token, pairs_4k, pairs_2m)`` where ``token`` is the
+        :meth:`fastpath_token` the snapshot is valid under. Also re-stamps
+        the translation-cache records of the captured entries to the
+        current generation: residency in L1 proves liveness (every
+        invalidation path removes the entry from the sets), so entries
+        that survived a selective ``invalidate_page`` become O(1)
+        validatable again.
+        """
+        gen = self.generation
+        pairs_4k = []
+        for vpn, translation in self.l1_4k.resident_items():
+            self._xlate_4k[vpn] = (translation.pfn, gen)
+            pairs_4k.append((vpn, translation.pfn))
+        pairs_2m = []
+        for vpn, translation in self.l1_2m.resident_items():
+            self._xlate_2m[vpn] = (translation.pfn, gen)
+            pairs_2m.append((vpn, translation.pfn))
+        return self.fastpath_token(), pairs_4k, pairs_2m
 
     @property
     def miss_rate(self) -> float:

@@ -23,6 +23,7 @@ still holds by 1-2 orders of magnitude.
 from __future__ import annotations
 
 import abc
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -87,8 +88,14 @@ class Workload(abc.ABC):
         return self.footprint // PAGE_SIZE
 
     def rng(self, thread: int) -> np.random.Generator:
-        """Deterministic per-thread generator."""
-        return np.random.default_rng((self.seed, hash(self.profile.name) & 0xFFFF, thread))
+        """Deterministic per-thread generator.
+
+        The per-workload component must be a *stable* digest of the name:
+        builtin ``hash()`` is salted per-process (PYTHONHASHSEED), which
+        would give every run a different address stream (lint DET003).
+        """
+        name_digest = zlib.crc32(self.profile.name.encode()) & 0xFFFF
+        return np.random.default_rng((self.seed, name_digest, thread))
 
     @abc.abstractmethod
     def offsets(self, thread: int, n_threads: int, count: int) -> np.ndarray:

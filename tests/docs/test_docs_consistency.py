@@ -29,6 +29,7 @@ class TestCliDocumented:
     def test_parser_knows_the_expected_commands(self):
         assert set(cli_subcommands()) == {
             "numactl", "scenario", "dump", "table4", "chaos", "lint", "trace",
+            "perf",
         }
 
     def test_every_subcommand_appears_in_readme(self, repo_root):
@@ -86,6 +87,25 @@ class TestIndexCompleteness:
         pages = sorted((repo_root / "docs").glob("*.md"))
         missing = [p.name for p in pages if f"docs/{p.name}" not in readme]
         assert not missing, f"README.md docs map does not link: {missing}"
+
+
+class TestPerformancePage:
+    def test_exists_and_covers_the_contract(self, repo_root):
+        page = (repo_root / "docs" / "performance.md").read_text()
+        for required in (
+            "REPRO_ENGINE",
+            "scalar",
+            "vector",
+            "BENCH_engine.json",
+            "fastpath_token",
+            "repro-bench-engine/1",
+            "tests/sim/test_engine_equivalence.py",
+        ):
+            assert required in page, f"performance.md lost: {required}"
+
+    def test_cross_linked_from_observability(self, repo_root):
+        text = (repo_root / "docs" / "observability.md").read_text()
+        assert "performance.md" in text, "observability.md lacks the cross-link"
 
 
 class TestObservabilityPage:

@@ -23,6 +23,7 @@ def test_all_expected_rules_registered():
         "PVOPS002",
         "DET001",
         "DET002",
+        "DET003",
         "FAULT001",
     }
 

@@ -200,6 +200,37 @@ class TestDet002:
         assert findings_for(snippet) == []
 
 
+class TestDet003:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "seed = hash(name) & 0xFFFF\n",
+            "rng = np.random.default_rng((seed, hash(key)))\n",
+            "bucket = hash((a, b)) % n\n",
+        ],
+    )
+    def test_builtin_hash_flagged(self, snippet):
+        assert [f.rule for f in findings_for(snippet, "DET003")] == ["DET003"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import zlib\nseed = zlib.crc32(name.encode()) & 0xFFFF\n",
+            # __hash__ implementations are what the builtin is for.
+            "class Key:\n"
+            "    def __hash__(self):\n"
+            "        return hash((self.a, self.b))\n",
+            "digest = obj.hash()\n",  # a method, not the builtin
+        ],
+    )
+    def test_stable_digests_and_dunder_hash_clean(self, snippet):
+        assert findings_for(snippet, "DET003") == []
+
+    def test_suppression_applies(self):
+        src = "seed = hash(name)  # lint: allow[DET003] -- fixture\n"
+        assert findings_for(src, "DET003") == []
+
+
 class TestFault001:
     def test_unregistered_fire_site_flagged(self):
         src = "plan.fire('mem.pagecashe.refill', node=1)\n"

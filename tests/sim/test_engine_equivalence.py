@@ -1,0 +1,231 @@
+"""Differential equivalence: the vector tier is the scalar tier, faster.
+
+The engine contract (docs/performance.md) is *bit-identical* metrics:
+every integer counter exact, every cycle sum float-equal, across
+workloads, machine sizes, seeds, THP, AutoNUMA, replication, migration,
+fault injection and tracing. These tests run both tiers on fresh,
+identically-built scenarios and compare the full metrics surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inject.plan import FaultPlan, install_fault_plan
+from repro.sim.bench import RUN_FIELDS, THREAD_FIELDS
+from repro.sim.engine import EngineConfig, Simulator, _chain_sum
+from repro.sim.scenario import run_migration, run_multisocket, setup_migration, setup_multisocket
+from repro.trace.session import TraceSession, start_tracing, stop_tracing
+from repro.units import MIB
+
+FOOTPRINT = 16 * MIB
+
+
+def assert_metrics_identical(scalar, vector):
+    """Full-surface equality with a field-precise failure message."""
+    assert len(scalar.threads) == len(vector.threads)
+    for ts, tv in zip(scalar.threads, vector.threads):
+        for name in THREAD_FIELDS:
+            assert getattr(ts, name) == getattr(tv, name), (
+                f"thread {ts.thread}: {name} scalar={getattr(ts, name)!r} "
+                f"vector={getattr(tv, name)!r}"
+            )
+    for name in RUN_FIELDS:
+        assert getattr(scalar, name) == getattr(vector, name), (
+            f"run: {name} scalar={getattr(scalar, name)!r} "
+            f"vector={getattr(vector, name)!r}"
+        )
+
+
+def engine_config(engine, **kwargs):
+    kwargs.setdefault("accesses_per_thread", 2500)
+    return EngineConfig(engine=engine, **kwargs)
+
+
+def run_setup(setup, config):
+    sim = Simulator(setup.kernel, config)
+    sockets = [t.socket for t in setup.process.threads]
+    return sim.run(setup.process, setup.workload, sockets, setup.va_base)
+
+
+class TestMatrix:
+    """3 workloads x 2 machine presets x 2 seeds (acceptance matrix)."""
+
+    @pytest.mark.parametrize("workload", ["gups", "redis", "memcached"])
+    @pytest.mark.parametrize("n_sockets", [2, 4])
+    @pytest.mark.parametrize("seed", [7, 1234])
+    def test_multisocket(self, workload, n_sockets, seed):
+        results = {
+            engine: run_multisocket(
+                workload, "F", footprint=FOOTPRINT, n_sockets=n_sockets,
+                engine=engine_config(engine), seed=seed,
+            )
+            for engine in ("scalar", "vector")
+        }
+        assert_metrics_identical(results["scalar"].metrics, results["vector"].metrics)
+
+
+class TestConfigurations:
+    """The placement/feature axes beyond the plain matrix."""
+
+    def test_thp_with_replication(self):
+        results = {
+            engine: run_multisocket(
+                "gups", "F+M", thp=True, footprint=FOOTPRINT, n_sockets=2,
+                engine=engine_config(engine),
+            )
+            for engine in ("scalar", "vector")
+        }
+        assert_metrics_identical(results["scalar"].metrics, results["vector"].metrics)
+
+    def test_autonuma_sampling(self):
+        results = {
+            engine: run_multisocket(
+                "memcached", "F-A", footprint=FOOTPRINT, n_sockets=2,
+                engine=engine_config(engine),
+            )
+            for engine in ("scalar", "vector")
+        }
+        assert_metrics_identical(results["scalar"].metrics, results["vector"].metrics)
+
+    def test_interleave(self):
+        results = {
+            engine: run_multisocket(
+                "stream", "I", footprint=FOOTPRINT, n_sockets=2,
+                engine=engine_config(engine),
+            )
+            for engine in ("scalar", "vector")
+        }
+        assert_metrics_identical(results["scalar"].metrics, results["vector"].metrics)
+
+    def test_migration_with_interference(self):
+        results = {
+            engine: run_migration(
+                "gups", "RPI-LD", mitosis=True, footprint=FOOTPRINT,
+                engine=engine_config(engine),
+            )
+            for engine in ("scalar", "vector")
+        }
+        assert_metrics_identical(results["scalar"].metrics, results["vector"].metrics)
+
+
+class TestFaultInjection:
+    def _run(self, engine):
+        setup = setup_migration("redis", "LP-RD", footprint=FOOTPRINT)
+        plan = FaultPlan(seed=5)
+        plan.swap_stall(probability=0.5)
+        install_fault_plan(setup.kernel, plan)
+        setup.kernel.swap.reclaim(setup.process, target_pages=256)
+        return run_setup(setup, engine_config(engine))
+
+    def test_major_faults_with_injected_stalls(self):
+        scalar = self._run("scalar")
+        vector = self._run("vector")
+        # The scenario must actually exercise the fault path.
+        assert scalar.faults_injected > 0
+        assert sum(t.faults for t in scalar.threads) > 0
+        assert_metrics_identical(scalar, vector)
+
+
+class TestTracing:
+    def _run(self, engine):
+        setup = setup_multisocket("memcached", "F", footprint=FOOTPRINT, n_sockets=2)
+        session = start_tracing(TraceSession(sinks=()))
+        try:
+            metrics = run_setup(setup, engine_config(engine))
+        finally:
+            stop_tracing()
+        return metrics, session
+
+    def test_traced_runs_match_metrics_and_counters(self):
+        scalar, scalar_session = self._run("scalar")
+        vector, vector_session = self._run("vector")
+        assert_metrics_identical(scalar, vector)
+        # The observability surface must agree too: same counter values
+        # (walk spans, eviction counts, ...) from both tiers.
+        assert scalar_session.metrics.counters == vector_session.metrics.counters
+        assert scalar_session.metrics.counters  # non-trivial session
+
+
+class TestMidRunInvalidation:
+    """Epoch callbacks that mutate translations mid-run: the generation
+    bump must force the vector tier to re-resolve (stale batched
+    translations are impossible — docs/performance.md)."""
+
+    def _run(self, engine):
+        setup = setup_multisocket("gups", "F", footprint=FOOTPRINT, n_sockets=2)
+        kernel, process = setup.kernel, setup.process
+
+        def flip_replication(epoch, _metrics):
+            if kernel.mitosis.get_replication_mask(process):
+                kernel.mitosis.set_replication_mask(process, None)
+            else:
+                kernel.mitosis.set_replication_mask(process, frozenset({0, 1}))
+
+        config = engine_config(engine, epochs=4, epoch_callback=flip_replication)
+        return run_setup(setup, config)
+
+    def test_replication_flips_between_epochs(self):
+        assert_metrics_identical(self._run("scalar"), self._run("vector"))
+
+
+class TestEngineSelection:
+    def test_invalid_engine_rejected(self, kernel2):
+        with pytest.raises(ValueError, match="engine"):
+            Simulator(kernel2, EngineConfig(engine="simd"))
+
+    def test_env_var_selects_engine(self, kernel2, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "scalar")
+        assert Simulator(kernel2, EngineConfig()).engine == "scalar"
+        monkeypatch.delenv("REPRO_ENGINE")
+        assert Simulator(kernel2, EngineConfig()).engine == "vector"
+
+    def test_config_beats_env(self, kernel2, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "scalar")
+        assert Simulator(kernel2, EngineConfig(engine="vector")).engine == "vector"
+
+
+class TestResidencyLut:
+    """Both LUT representations must agree (dense is an optimization)."""
+
+    def _pairs(self, vpns, frames_per_node=100):
+        return [(vpn, (vpn % 7) * frames_per_node + 3) for vpn in vpns]
+
+    @pytest.mark.parametrize("spread", [1, 1 << 16])  # dense / sparse
+    def test_contains_and_nodes(self, spread):
+        from repro.sim.engine import _LUT_SPAN_MAX, _ResidencyLut
+
+        resident = [5 * spread, 9 * spread, 12 * spread, 700 * spread]
+        span = resident[-1] - resident[0] + 1
+        assert (span <= _LUT_SPAN_MAX) == (spread == 1)  # both arms covered
+        lut = _ResidencyLut(self._pairs(resident), frames_per_node=100)
+        probe = np.asarray(
+            resident + [0, 6 * spread, 12 * spread + 1, 701 * spread], dtype=np.int64
+        )
+        assert lut.contains(probe).tolist() == [True] * 4 + [False] * 4
+        assert lut.nodes_for(np.asarray(resident, dtype=np.int64)).tolist() == [
+            vpn % 7 for vpn in resident
+        ]
+
+    def test_empty_lut_contains_nothing(self):
+        from repro.sim.engine import _ResidencyLut
+
+        lut = _ResidencyLut([], frames_per_node=100)
+        assert lut.contains(np.asarray([1, 2], dtype=np.int64)).tolist() == [False, False]
+
+
+class TestChainSum:
+    """The float-fold primitive behind bit-identical cycle sums."""
+
+    def test_matches_sequential_python_fold(self):
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(1.0, 700.0, size=10_001)
+        carry = 1234.5678
+        expected = carry
+        for cost in costs:
+            expected += cost
+        assert _chain_sum(carry, costs) == expected
+
+    def test_empty_run_returns_carry(self):
+        assert _chain_sum(42.25, np.empty(0)) == 42.25

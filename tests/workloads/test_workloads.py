@@ -66,6 +66,43 @@ class TestStreams:
         b = workload.offsets(1, 2, 500)
         assert not np.array_equal(a, b)
 
+    def test_deterministic_across_processes(self):
+        """The stream must not depend on PYTHONHASHSEED (lint DET003).
+
+        The per-workload seed component used to be ``hash(name)``, which
+        is salted per process — every invocation replayed a different
+        address stream and no committed benchmark output was reproducible.
+        Two subprocesses with different hash seeds must now agree, for
+        every registered workload.
+        """
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.workloads import WORKLOADS, create\n"
+            "from repro.units import MIB\n"
+            "for name in sorted(WORKLOADS):\n"
+            "    w = create(name, footprint=8 * MIB, seed=7)\n"
+            "    print(name, w.offsets(0, 2, 64).tolist())\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        outputs = set()
+        for hashseed in ("0", "1"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=src_dir)
+            outputs.add(
+                subprocess.run(
+                    [sys.executable, "-c", script],
+                    env=env,
+                    capture_output=True,
+                    text=True,
+                    check=True,
+                ).stdout
+            )
+        assert len(outputs) == 1
+
     @pytest.mark.parametrize("name", ALL_NAMES)
     def test_writes_match_profile(self, name):
         workload = create(name, footprint=8 * MIB)

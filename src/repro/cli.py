@@ -104,12 +104,17 @@ def _add_lint_args(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: the repro package)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text", dest="fmt",
-        help="report format",
+        "--format", choices=["text", "json", "sarif"], default="text", dest="fmt",
+        help="report format (sarif = SARIF 2.1.0 for code-scanning UIs)",
     )
     parser.add_argument(
         "--rules", default=None,
-        help="comma-separated rule subset (e.g. PVOPS001,DET001)",
+        help="comma-separated rule subset (e.g. PVOPS001,TLBGEN001)",
+    )
+    parser.add_argument(
+        "--whole-program", action="store_true",
+        help="also build the project call graph and run the cross-module "
+        "protocol rules (TLBGEN001/TLBGEN002, SHOOT001, PROV001, SPAN001)",
     )
     parser.add_argument(
         "--baseline", default=None,
@@ -180,7 +185,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static analysis: PV-Ops / determinism / fault-site invariants",
+        help="static analysis: PV-Ops / determinism / fault-site invariants "
+        "(--whole-program adds call-graph + CFG protocol rules)",
     )
     _add_lint_args(lint)
 
@@ -306,8 +312,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: run the static analyzer (PV-Ops, determinism,
-    fault-site and suppression-hygiene rules) over the given paths;
-    exits 1 when there are findings not covered by the baseline."""
+    fault-site and suppression-hygiene rules — plus, with
+    ``--whole-program``, the call-graph/CFG protocol rules) over the
+    given paths; exits 1 when there are findings not covered by the
+    baseline."""
     from pathlib import Path
 
     from repro.lint import (
@@ -315,6 +323,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         lint_paths,
         load_baseline,
         render_json,
+        render_sarif,
         render_text,
         write_baseline,
     )
@@ -328,7 +337,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         paths = [Path(repro.__file__).resolve().parent]
     rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
     try:
-        result = lint_paths(paths, rules=rules)
+        result = lint_paths(paths, rules=rules, whole_program=args.whole_program)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -344,7 +353,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     new_findings = result.findings
     if not args.no_baseline and baseline_path.exists():
         new_findings = filter_baseline(result.findings, load_baseline(baseline_path))
-    render = render_json if args.fmt == "json" else render_text
+    render = {"json": render_json, "sarif": render_sarif, "text": render_text}[args.fmt]
     print(render(result, new_findings))
     return 1 if new_findings else 0
 

@@ -7,11 +7,15 @@ faults. Neither was defended by tooling — only by docstring convention.
 This package is that tooling, in two halves:
 
 * **static**: an AST-based analyzer (:mod:`repro.lint.core`) with named
-  rules — ``PVOPS001``/``PVOPS002`` (PV-Ops bypasses),
+  per-file rules — ``PVOPS001``/``PVOPS002`` (PV-Ops bypasses),
   ``DET001``–``DET003`` (reproducibility hazards) and ``FAULT001``
-  (unregistered fault-injection sites) — run via
-  ``python -m repro.cli lint`` and gated in CI against a committed
-  baseline (:mod:`repro.lint.baseline`);
+  (unregistered fault-injection sites) — plus whole-program protocol
+  rules (``TLBGEN001``/``TLBGEN002``, ``SHOOT001``, ``PROV001``,
+  ``SPAN001``) that combine a project call graph
+  (:mod:`repro.lint.callgraph`) with per-function CFG reachability
+  (:mod:`repro.lint.flow`); run via ``python -m repro.cli lint``
+  (``--whole-program`` for the cross-module pass) and gated in CI
+  against a committed baseline (:mod:`repro.lint.baseline`);
 * **dynamic**: :class:`repro.lint.sanitizer.PTESanitizer`, a debug-mode
   guard around :class:`~repro.paging.pagetable.PageTablePage` entries
   that records writer provenance and raises on any store that does not
@@ -28,28 +32,43 @@ from repro.lint.baseline import (
 )
 from repro.lint.core import (
     ALL_RULES,
+    WHOLE_PROGRAM_RULES,
     Finding,
     LintResult,
+    ParsedModule,
     Rule,
+    WholeProgramRule,
+    clear_parse_cache,
     iter_python_files,
     lint_paths,
     lint_source,
+    parse_file,
+    parse_source,
     rule_names,
+    whole_program_rule_names,
 )
-from repro.lint.report import render_json, render_text
+from repro.lint.report import render_json, render_sarif, render_text
 
 __all__ = [
     "ALL_RULES",
+    "WHOLE_PROGRAM_RULES",
     "Finding",
     "LintResult",
+    "ParsedModule",
     "Rule",
+    "WholeProgramRule",
+    "clear_parse_cache",
     "filter_baseline",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "parse_file",
+    "parse_source",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_names",
+    "whole_program_rule_names",
     "write_baseline",
 ]

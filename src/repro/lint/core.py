@@ -7,6 +7,22 @@ The machinery here is deliberately small: a :class:`Rule` is an
 every requested rule over one parsed module and then applies per-line
 suppressions.
 
+Every file is parsed **once** into a :class:`ParsedModule` and shared:
+across rules, across the per-file and whole-program passes, and across
+repeated runs in one process (:func:`parse_file` keeps a cache keyed by
+``(path, mtime, size)``).
+
+Two rule registries coexist:
+
+* per-file rules (:class:`Rule`, :func:`register_rule`) see one module's
+  AST at a time;
+* whole-program rules (:class:`WholeProgramRule`,
+  :func:`register_whole_program_rule`) run once over a
+  :class:`~repro.lint.callgraph.ProjectIndex` of *all* linted files and
+  can therefore check cross-module protocol invariants (see
+  :mod:`repro.lint.rules_protocol`). They are opt-in:
+  ``lint_paths(..., whole_program=True)`` or naming them in ``--rules``.
+
 Suppressions are comments of the form::
 
     page.entries[i] = v  # lint: allow[PVOPS001] -- hardware A/D write, no PV-Ops by design
@@ -23,7 +39,10 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.callgraph import ProjectIndex
 
 #: Meta-rule name for malformed suppressions (missing justification).
 META_RULE = "LINT000"
@@ -74,6 +93,72 @@ class LintResult:
     @property
     def ok(self) -> bool:
         return not self.findings
+
+
+# -- shared parsing -----------------------------------------------------------
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file, shared by every rule and analysis pass."""
+
+    path: str  # display path, as findings report it
+    module: str  # dotted module name, e.g. "repro.kernel.pvops"
+    source: str
+    source_lines: list[str]
+    tree: ast.Module
+
+
+#: Count of real ``ast.parse`` calls — observable evidence that the parse
+#: cache works (see ``tests/lint/test_parse_cache.py``).
+PARSE_CALLS = 0
+
+#: resolved path -> ((mtime_ns, size), parsed module).
+_PARSE_CACHE: dict[Path, tuple[tuple[int, int], ParsedModule]] = {}
+
+
+def parse_source(
+    source: str, *, path: str = "<string>", module: str | None = None
+) -> ParsedModule:
+    """Parse ``source`` once into a shareable :class:`ParsedModule`.
+
+    Raises :class:`SyntaxError` like :func:`ast.parse`.
+    """
+    global PARSE_CALLS
+    PARSE_CALLS += 1
+    tree = ast.parse(source, filename=path)
+    if module is None:
+        module = _module_name(Path(path)) if path != "<string>" else "<string>"
+    return ParsedModule(
+        path=path,
+        module=module,
+        source=source,
+        source_lines=source.splitlines(),
+        tree=tree,
+    )
+
+
+def parse_file(file_path: Path) -> ParsedModule:
+    """Parse ``file_path``, reusing the cached AST while the file is
+    unchanged (same mtime and size)."""
+    resolved = file_path.resolve()
+    stat = resolved.stat()
+    signature = (stat.st_mtime_ns, stat.st_size)
+    cached = _PARSE_CACHE.get(resolved)
+    if cached is not None and cached[0] == signature:
+        return cached[1]
+    parsed = parse_source(
+        resolved.read_text(encoding="utf-8"),
+        path=_display_path(file_path),
+        module=_module_name(file_path),
+    )
+    _PARSE_CACHE[resolved] = (signature, parsed)
+    return parsed
+
+
+def clear_parse_cache() -> None:
+    """Drop all cached ASTs (tests that rewrite files in place)."""
+    _PARSE_CACHE.clear()
 
 
 class Rule(ast.NodeVisitor):
@@ -146,12 +231,44 @@ RULE_REGISTRY: dict[str, type[Rule]] = {}
 
 
 def register_rule(cls: type[Rule]) -> type[Rule]:
-    """Class decorator adding a rule to the global registry."""
+    """Class decorator adding a per-file rule to the global registry."""
     if not cls.name:
         raise ValueError(f"rule {cls.__name__} has no name")
-    if cls.name in RULE_REGISTRY:
+    if cls.name in RULE_REGISTRY or cls.name in WHOLE_PROGRAM_REGISTRY:
         raise ValueError(f"duplicate rule name {cls.name}")
     RULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+class WholeProgramRule:
+    """Base class for rules that need the project-wide view.
+
+    Unlike :class:`Rule`, a whole-program rule does not visit one AST; it
+    receives the :class:`~repro.lint.callgraph.ProjectIndex` of every
+    linted file at once and returns findings anywhere in the project.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def run(self, index: "ProjectIndex") -> list[Finding]:
+        raise NotImplementedError
+
+
+#: name -> whole-program rule class. Populated by
+#: :func:`register_whole_program_rule`.
+WHOLE_PROGRAM_REGISTRY: dict[str, type[WholeProgramRule]] = {}
+
+
+def register_whole_program_rule(
+    cls: type[WholeProgramRule],
+) -> type[WholeProgramRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.name in RULE_REGISTRY or cls.name in WHOLE_PROGRAM_REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name}")
+    WHOLE_PROGRAM_REGISTRY[cls.name] = cls
     return cls
 
 
@@ -184,12 +301,21 @@ def _parse_allows(source_lines: list[str]) -> dict[int, _Allow]:
     return allows
 
 
-def _apply_suppressions(
-    findings: list[Finding], source_lines: list[str], path: str
+def apply_suppressions(
+    findings: list[Finding],
+    source_lines: list[str],
+    path: str,
+    *,
+    report_unjustified: bool = True,
 ) -> list[Finding]:
     """Drop findings covered by a justified allow-comment on the same line
     or on a standalone comment line directly above; report unjustified
-    allow-comments as ``LINT000``."""
+    allow-comments as ``LINT000``.
+
+    The whole-program pass runs this a second time over files the
+    per-file pass already checked; it passes ``report_unjustified=False``
+    so each malformed allow-comment is reported exactly once.
+    """
     allows = _parse_allows(source_lines)
     kept: list[Finding] = []
     for finding in findings:
@@ -205,22 +331,27 @@ def _apply_suppressions(
             break
         if not suppressed:
             kept.append(finding)
-    for lineno, allow in sorted(allows.items()):
-        if not allow.justified:
-            kept.append(
-                Finding(
-                    rule=META_RULE,
-                    path=path,
-                    line=lineno,
-                    col=0,
-                    message=(
-                        "suppression without justification: write "
-                        "'# lint: allow[RULE] -- <why this site is exempt>'"
-                    ),
-                    context=source_lines[lineno - 1].strip(),
+    if report_unjustified:
+        for lineno, allow in sorted(allows.items()):
+            if not allow.justified:
+                kept.append(
+                    Finding(
+                        rule=META_RULE,
+                        path=path,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            "suppression without justification: write "
+                            "'# lint: allow[RULE] -- <why this site is exempt>'"
+                        ),
+                        context=source_lines[lineno - 1].strip(),
+                    )
                 )
-            )
     return kept
+
+
+#: Backward-compatible alias (pre-whole-program name).
+_apply_suppressions = apply_suppressions
 
 
 # -- running ------------------------------------------------------------------
@@ -250,19 +381,68 @@ def _display_path(path: Path) -> str:
 
 
 def resolve_rules(names: Iterable[str] | None = None) -> tuple[type[Rule], ...]:
-    """Rule classes for ``names`` (all registered rules when ``None``)."""
+    """Per-file rule classes for ``names`` (all registered when ``None``)."""
     if names is None:
         return tuple(RULE_REGISTRY[n] for n in sorted(RULE_REGISTRY))
     missing = sorted(set(names) - set(RULE_REGISTRY))
     if missing:
-        known = ", ".join(sorted(RULE_REGISTRY))
+        known = ", ".join(sorted(RULE_REGISTRY) + sorted(WHOLE_PROGRAM_REGISTRY))
         raise KeyError(f"unknown rule(s) {', '.join(missing)}; known: {known}")
     return tuple(RULE_REGISTRY[n] for n in sorted(set(names)))
 
 
 def rule_names() -> tuple[str, ...]:
-    """Every registered rule name, sorted (the ``--rules`` vocabulary)."""
+    """Every registered per-file rule name, sorted."""
     return tuple(sorted(RULE_REGISTRY))
+
+
+def whole_program_rule_names() -> tuple[str, ...]:
+    """Every registered whole-program rule name, sorted."""
+    return tuple(sorted(WHOLE_PROGRAM_REGISTRY))
+
+
+def split_rule_names(
+    names: Iterable[str] | None,
+) -> tuple[list[str] | None, list[str] | None]:
+    """Split requested rule names into (per-file, whole-program) lists.
+
+    ``None`` means "no explicit selection" for both halves. Unknown names
+    raise :class:`KeyError` naming both vocabularies.
+    """
+    if names is None:
+        return None, None
+    requested = set(names)
+    per_file = sorted(requested & set(RULE_REGISTRY))
+    whole = sorted(requested & set(WHOLE_PROGRAM_REGISTRY))
+    missing = sorted(requested - set(per_file) - set(whole))
+    if missing:
+        known = ", ".join(sorted(RULE_REGISTRY) + sorted(WHOLE_PROGRAM_REGISTRY))
+        raise KeyError(f"unknown rule(s) {', '.join(missing)}; known: {known}")
+    return per_file, whole
+
+
+def _run_rules(
+    parsed: ParsedModule, rule_classes: tuple[type[Rule], ...]
+) -> list[Finding]:
+    """Run per-file rules over one shared AST."""
+    findings: list[Finding] = []
+    for cls in rule_classes:
+        rule = cls(
+            module=parsed.module, path=parsed.path, source_lines=parsed.source_lines
+        )
+        rule.visit(parsed.tree)
+        findings.extend(rule.findings)
+    return findings
+
+
+def _syntax_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule=META_RULE,
+        path=path,
+        line=exc.lineno or 1,
+        col=exc.offset or 0,
+        message=f"syntax error: {exc.msg}",
+    )
 
 
 def lint_source(
@@ -271,38 +451,22 @@ def lint_source(
     module: str | None = None,
     rules: Iterable[str] | None = None,
 ) -> LintResult:
-    """Run rules over one source string (the test-fixture entry point)."""
+    """Run per-file rules over one source string (the test-fixture entry
+    point). Whole-program rules need a project index; use
+    :func:`lint_paths` with ``whole_program=True`` for those."""
     rule_classes = resolve_rules(rules)
-    source_lines = source.splitlines()
+    rules_run = tuple(cls.name for cls in rule_classes)
     try:
-        tree = ast.parse(source, filename=path)
+        parsed = parse_source(source, path=path, module=module)
     except SyntaxError as exc:
         return LintResult(
-            findings=[
-                Finding(
-                    rule=META_RULE,
-                    path=path,
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    message=f"syntax error: {exc.msg}",
-                )
-            ],
+            findings=[_syntax_error_finding(path, exc)],
             files_checked=1,
-            rules_run=tuple(cls.name for cls in rule_classes),
+            rules_run=rules_run,
         )
-    if module is None:
-        module = _module_name(Path(path)) if path != "<string>" else "<string>"
-    findings: list[Finding] = []
-    for cls in rule_classes:
-        rule = cls(module=module, path=path, source_lines=source_lines)
-        rule.visit(tree)
-        findings.extend(rule.findings)
-    findings = _apply_suppressions(findings, source_lines, path)
-    return LintResult(
-        findings=findings,
-        files_checked=1,
-        rules_run=tuple(cls.name for cls in rule_classes),
-    )
+    findings = _run_rules(parsed, rule_classes)
+    findings = apply_suppressions(findings, parsed.source_lines, path)
+    return LintResult(findings=findings, files_checked=1, rules_run=rules_run)
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -317,19 +481,57 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Iterable[Path | str], rules: Iterable[str] | None = None
+    paths: Iterable[Path | str],
+    rules: Iterable[str] | None = None,
+    *,
+    whole_program: bool = False,
 ) -> LintResult:
-    """Lint every python file under ``paths``."""
-    result = LintResult(rules_run=tuple(cls.name for cls in resolve_rules(rules)))
+    """Lint every python file under ``paths``.
+
+    ``whole_program=True`` additionally builds the project index over all
+    files and runs every whole-program rule; explicitly naming a
+    whole-program rule in ``rules`` opts in for that rule alone.
+    """
+    per_file_selected, whole_selected = split_rule_names(rules)
+    if whole_selected is None:
+        whole_selected = list(whole_program_rule_names()) if whole_program else []
+    rule_classes = resolve_rules(per_file_selected)
+    result = LintResult(
+        rules_run=tuple(cls.name for cls in rule_classes) + tuple(whole_selected or ())
+    )
+    parsed_modules: list[ParsedModule] = []
     for file_path in iter_python_files(Path(p) for p in paths):
-        source = file_path.read_text(encoding="utf-8")
-        one = lint_source(
-            source,
-            path=_display_path(file_path),
-            module=_module_name(file_path),
-            rules=rules,
+        result.files_checked += 1
+        try:
+            parsed = parse_file(file_path)
+        except SyntaxError as exc:
+            result.findings.append(
+                _syntax_error_finding(_display_path(file_path), exc)
+            )
+            continue
+        parsed_modules.append(parsed)
+        findings = _run_rules(parsed, rule_classes)
+        result.findings.extend(
+            apply_suppressions(findings, parsed.source_lines, parsed.path)
         )
-        result.extend(one)
+    if whole_selected:
+        # Imported here: callgraph imports Finding/ParsedModule from this
+        # module, so a top-level import would be a cycle.
+        from repro.lint.callgraph import build_index
+
+        index = build_index(parsed_modules)
+        by_path: dict[str, list[Finding]] = {}
+        for name in whole_selected:
+            for finding in WHOLE_PROGRAM_REGISTRY[name]().run(index):
+                by_path.setdefault(finding.path, []).append(finding)
+        for path, findings in by_path.items():
+            parsed_for_path = index.modules_by_path.get(path)
+            lines = parsed_for_path.source_lines if parsed_for_path else []
+            result.findings.extend(
+                apply_suppressions(
+                    findings, lines, path, report_unjustified=False
+                )
+            )
     result.findings = result.sorted_findings()
     return result
 
@@ -338,6 +540,8 @@ def lint_paths(
 # modules can import the framework above without a cycle.
 from repro.lint import rules_determinism  # noqa: E402,F401
 from repro.lint import rules_fault  # noqa: E402,F401
+from repro.lint import rules_protocol  # noqa: E402,F401
 from repro.lint import rules_pvops  # noqa: E402,F401
 
 ALL_RULES: tuple[str, ...] = rule_names()
+WHOLE_PROGRAM_RULES: tuple[str, ...] = whole_program_rule_names()

@@ -1,17 +1,30 @@
-"""Finding reporters: human text and machine JSON.
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
 
 Text output is one ``path:line:col: RULE message`` line per finding plus
 a summary; JSON is a stable, versioned document for CI and tooling
-(``python -m repro.cli lint --format json``).
+(``python -m repro.cli lint --format json``); SARIF
+(``--format sarif``) is the interchange format code-scanning UIs ingest
+— CI uploads it as an artifact.
 """
 
 from __future__ import annotations
 
 import json
 
-from repro.lint.core import Finding, LintResult
+from repro.lint.core import (
+    Finding,
+    LintResult,
+    RULE_REGISTRY,
+    WHOLE_PROGRAM_REGISTRY,
+)
 
 JSON_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult, new_findings: list[Finding] | None = None) -> str:
@@ -66,4 +79,62 @@ def render_json(result: LintResult, new_findings: list[Finding] | None = None) -
         },
         indent=2,
         sort_keys=False,
+    )
+
+
+def _rule_description(rule: str) -> str:
+    cls = RULE_REGISTRY.get(rule) or WHOLE_PROGRAM_REGISTRY.get(rule)
+    return getattr(cls, "description", "") or rule
+
+
+def render_sarif(
+    result: LintResult, new_findings: list[Finding] | None = None
+) -> str:
+    """SARIF 2.1.0 document. Baselined findings are marked
+    ``baselineState: "unchanged"``; new ones ``"new"``."""
+    findings = result.findings if new_findings is None else new_findings
+    new_keys = {id(f) for f in findings}
+    rules_seen = sorted({f.rule for f in result.findings} | set(result.rules_run))
+    run = {
+        "tool": {
+            "driver": {
+                "name": "repro.lint",
+                "informationUri": "docs/static-analysis.md",
+                "rules": [
+                    {
+                        "id": rule,
+                        "shortDescription": {"text": _rule_description(rule)},
+                    }
+                    for rule in rules_seen
+                ],
+            }
+        },
+        "results": [
+            {
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "baselineState": "new" if id(f) in new_keys else "unchanged",
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col + 1,
+                                "snippet": {"text": f.context},
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "repro/v1": "|".join(f.fingerprint()),
+                },
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(
+        {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]},
+        indent=2,
     )

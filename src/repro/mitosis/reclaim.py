@@ -59,6 +59,7 @@ def reclaim_replicas(
             in_use = node in process.sockets_in_use()
             if in_use and not pass_aggressive:
                 continue
+            # lint: allow[TLBGEN002] -- freed == 0 means no table was dropped, so no translation went stale
             freed = shrink_replication(mm.tree, kernel.pagecache, frozenset({node}))
             if freed:
                 report.tables_freed += freed

@@ -28,6 +28,7 @@ def replica_sockets(tree: PageTableTree) -> frozenset[int]:
     return frozenset(member.node for member in ring_members(tree, tree.root))
 
 
+# protocol: defers[translation-visibility] -- caller owns the TLB shootdown after the table change
 def enable_replication(
     tree: PageTableTree,
     pagecache: PageTablePageCache,
@@ -49,6 +50,7 @@ def enable_replication(
         return ops
 
 
+# protocol: defers[translation-visibility] -- caller owns the TLB shootdown after the table change
 def _enable_replication(
     tree: PageTableTree,
     pagecache: PageTablePageCache,
@@ -191,6 +193,7 @@ def _rollback_partial_enable(
         )
 
 
+# protocol: defers[translation-visibility] -- caller owns the TLB shootdown after the table change
 def shrink_replication(
     tree: PageTableTree,
     pagecache: PageTablePageCache,
@@ -216,6 +219,7 @@ def shrink_replication(
         return freed
 
 
+# protocol: defers[translation-visibility] -- caller owns the TLB shootdown after the table change
 def _shrink_replication(
     tree: PageTableTree,
     pagecache: PageTablePageCache,
@@ -287,6 +291,7 @@ def _shrink_replication(
     return freed
 
 
+# protocol: defers[translation-visibility] -- caller owns the TLB shootdown after the table change
 def collapse_replicas(
     tree: PageTableTree,
     pagecache: PageTablePageCache,
@@ -316,6 +321,7 @@ def collapse_replicas(
         return _collapse_replicas(tree, pagecache, keep_socket, pt_policy)
 
 
+# protocol: defers[translation-visibility] -- caller owns the TLB shootdown after the table change
 def _collapse_replicas(
     tree: PageTableTree,
     pagecache: PageTablePageCache,

@@ -54,7 +54,7 @@ class PageTablePage:
     def __init__(self, frame: Frame, level: int, primary: "PageTablePage | None" = None):
         self.frame = frame
         self.level = level
-        # lint: allow[PVOPS001] -- table birth: the entry array is created empty here, before any backend can write it
+        # lint: allow[PVOPS001,PROV001] -- table birth: the entry array is created empty here, before any backend can write it
         self.entries: list[int] = [0] * PTES_PER_TABLE
         self.valid_count = 0
         #: ``None`` for the primary copy; for a Mitosis replica, the primary
@@ -320,6 +320,7 @@ class PageTableTree:
         leaf_flags = flags | PTE_PRESENT | (PTE_HUGE if huge else 0)
         self.ops.set_pte(self, page, index, make_pte(data_pfn, leaf_flags))
 
+    # protocol: defers[translation-visibility] -- caller owns the TLB shootdown
     def unmap_page(self, va: int) -> Translation:
         """Remove the leaf mapping covering ``va``; returns what it mapped.
 
@@ -347,6 +348,7 @@ class PageTableTree:
             self.ops.release_table(self, page)
         return removed
 
+    # protocol: defers[translation-visibility] -- caller owns the TLB shootdown
     def protect_page(self, va: int, flags: int) -> None:
         """Change the flag bits of the leaf mapping covering ``va``
         (read-modify-write, the expensive path of Table 5).
@@ -364,6 +366,7 @@ class PageTableTree:
             self, location.page, location.index, make_pte(pte_pfn(entry), flags | keep)
         )
 
+    # protocol: defers[translation-visibility] -- caller owns the TLB shootdown
     def split_huge_page(self, va: int, node_hint: int = 0) -> None:
         """Shatter the 2 MiB mapping covering ``va`` into 512 4 KiB PTEs
         (THP split; the backing frames are contiguous so data stays put)."""
@@ -378,6 +381,7 @@ class PageTableTree:
             self.ops.set_pte(self, child, i, make_pte(base_pfn + i, flags))
         self.ops.set_pte(self, location.page, location.index, make_pte(child.pfn, TABLE_FLAGS))
 
+    # protocol: defers[translation-visibility] -- caller owns the TLB shootdown
     def collapse_huge_page(self, va: int) -> bool:
         """Merge 512 contiguous 4 KiB PTEs back into one 2 MiB mapping
         (khugepaged's job). Returns ``False`` when the L1 table is not fully

@@ -41,7 +41,9 @@ from repro.sim.engine import ENGINES, EngineConfig, Simulator
 from repro.sim.metrics import RunMetrics
 from repro.sim.scenario import ScenarioSetup, setup_migration, setup_multisocket
 from repro.tlb.tlb import TlbConfig
-from repro.trace.session import TraceSession, start_tracing, stop_tracing
+from contextlib import nullcontext
+
+from repro.trace.session import TraceSession, tracing
 from repro.units import MIB
 
 SCHEMA = "repro-bench-engine/1"
@@ -159,16 +161,15 @@ def _measure_once(
     config.engine = engine
     sim = Simulator(setup.kernel, config)
     sockets = [thread.socket for thread in setup.process.threads]
-    session = None
-    if scenario.traced:
-        session = start_tracing(TraceSession(sinks=(), metadata={"bench": scenario.name}))
-    try:
+    scope = (
+        tracing(TraceSession(sinks=(), metadata={"bench": scenario.name}))
+        if scenario.traced
+        else nullcontext()
+    )
+    with scope:
         start = time.perf_counter()  # lint: allow[DET001] -- wall-clock throughput is the measurement
         metrics = sim.run(setup.process, setup.workload, sockets, setup.va_base)
         elapsed = time.perf_counter() - start  # lint: allow[DET001] -- wall-clock throughput is the measurement
-    finally:
-        if session is not None:
-            stop_tracing()
     return elapsed, metrics
 
 

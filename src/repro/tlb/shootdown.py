@@ -55,6 +55,7 @@ class TlbShootdown:
     #: Optional :class:`repro.inject.plan.FaultPlan` for delay/drop chaos.
     fault_plan: object | None = field(default=None, repr=False)
 
+    # protocol: settles[translation-visibility] -- every core's caches are flushed here
     def flush_all(self, cores: list[tuple[TlbHierarchy, MmuCaches]]) -> float:
         """Global flush on every core context; returns cycles charged."""
         for tlb, mmu in cores:
@@ -62,6 +63,7 @@ class TlbShootdown:
             mmu.flush()
         return self._charge(len(cores))
 
+    # protocol: settles[translation-visibility] -- every core drops the page's translation here
     def flush_page(self, cores: list[tuple[TlbHierarchy, MmuCaches]], va: int) -> float:
         """Single-page invalidation on every core context."""
         for tlb, mmu in cores:
@@ -70,9 +72,7 @@ class TlbShootdown:
         return self._charge(len(cores))
 
     def _charge(self, n_cores: int) -> float:
-        self.stats.shootdowns += 1
-        self.stats.ipis += max(0, n_cores - 1)
-        cycles = IPI_CYCLES * max(1, n_cores)
+        cycles = self._begin_round(n_cores)
         plan = self.fault_plan
         if plan is not None:
             rule = plan.fire(SITE_SHOOTDOWN_DELAY, cores=n_cores)
@@ -89,5 +89,17 @@ class TlbShootdown:
                 self.stats.ack_retries += 1
                 # One re-send round: every remote core gets its IPI again.
                 cycles += IPI_CYCLES * max(1, n_cores - 1)
+        return self._complete_round(cycles)
+
+    # protocol: begins[shootdown-round] -- an IPI round is in flight: counters bumped, cost quoted
+    def _begin_round(self, n_cores: int) -> float:
+        """Open one shootdown round: count it and quote its base cost."""
+        self.stats.shootdowns += 1
+        self.stats.ipis += max(0, n_cores - 1)
+        return IPI_CYCLES * max(1, n_cores)
+
+    # protocol: ends[shootdown-round] -- the round is acked and its cycles charged
+    def _complete_round(self, cycles: float) -> float:
+        """Close the round: charge its (possibly chaos-stretched) cycles."""
         self.stats.cycles += cycles
         return cycles

@@ -80,10 +80,12 @@ class Tlb:
             self.stats.evictions += 1
         entry_set[vpn] = translation
 
+    # protocol: defers[tlb-generation] -- single-level evict; the hierarchy owns the bump
     def invalidate(self, va: int) -> None:
         vpn = va >> self.page_shift
         self._set_for(vpn).pop(vpn, None)
 
+    # protocol: defers[tlb-generation] -- single-level flush; the hierarchy owns the bump
     def flush(self) -> None:
         for entry_set in self._sets:
             entry_set.clear()
@@ -214,6 +216,7 @@ class TlbHierarchy:
         else:
             self.l1_4k.insert(va, translation)
 
+    # protocol: mutates[tlb-generation] -- evicts cached translations; must stamp a new generation
     def invalidate_page(self, va: int) -> None:
         for tlb in (self.l1_4k, self.l1_2m, self.l2_4k, self.l2_2m):
             tlb.invalidate(va)
@@ -221,6 +224,7 @@ class TlbHierarchy:
         self._xlate_2m.pop(va >> HUGE_PAGE_SHIFT, None)
         self.generation += 1
 
+    # protocol: mutates[tlb-generation] -- drops every cached translation; must stamp a new generation
     def flush(self) -> None:
         for tlb in (self.l1_4k, self.l1_2m, self.l2_4k, self.l2_2m):
             tlb.flush()

@@ -21,23 +21,27 @@ def publish_run_metrics(session: TraceSession, metrics, prefix: str = "perf") ->
     hardware-shaped events *and* the ``mitosis.*`` robustness software
     counters — is added under ``{prefix}.``; running several configs in
     one session accumulates totals. A ``run-metrics`` instant event marks
-    the publication point on the timeline with the headline numbers.
+    the publication point on the timeline with the headline numbers, and
+    the whole publication is wrapped in a ``trace.publish`` span so its
+    cost is attributable on the timeline like any other phase.
     """
     from repro.sim.perfcounters import perf_stat
 
-    report = perf_stat(metrics)
-    session.metrics.merge_from(report.counters, prefix=prefix)
-    session.instant(
-        "run-metrics",
-        category="metrics",
-        runtime_cycles=round(metrics.runtime_cycles, 1),
-        walk_cycle_fraction=round(metrics.walk_cycle_fraction, 4),
-        tlb_miss_rate=round(metrics.tlb_miss_rate, 4),
-        faults_injected=metrics.faults_injected,
-        degradations=metrics.degradations,
-        retries=metrics.retries,
-        recoveries=metrics.recoveries,
-    )
+    with session.span("trace.publish", category="metrics", prefix=prefix) as span:
+        report = perf_stat(metrics)
+        session.metrics.merge_from(report.counters, prefix=prefix)
+        session.instant(
+            "run-metrics",
+            category="metrics",
+            runtime_cycles=round(metrics.runtime_cycles, 1),
+            walk_cycle_fraction=round(metrics.walk_cycle_fraction, 4),
+            tlb_miss_rate=round(metrics.tlb_miss_rate, 4),
+            faults_injected=metrics.faults_injected,
+            degradations=metrics.degradations,
+            retries=metrics.retries,
+            recoveries=metrics.recoveries,
+        )
+        span.set(counters=len(report.counters))
 
 
 def publish_chaos_report(session: TraceSession, report) -> None:

@@ -55,6 +55,7 @@ def trace_active() -> bool:
     return _SESSION is not None
 
 
+# protocol: begins[trace-session] -- a session is now live; every path must stop it
 def start_tracing(session: "TraceSession | None" = None, **kwargs: Any) -> "TraceSession":
     """Install ``session`` (or a freshly built one) as the process-wide
     trace session and return it.
@@ -70,6 +71,7 @@ def start_tracing(session: "TraceSession | None" = None, **kwargs: Any) -> "Trac
     return session
 
 
+# protocol: ends[trace-session] -- closes and detaches the live session
 def stop_tracing() -> "TraceSession | None":
     """Uninstall and close the current session; returns it (its ring
     buffer, metrics and in-memory sinks stay readable after close)."""

@@ -27,6 +27,7 @@ def replicate_nested(vm: VirtualMachine, mask: frozenset[int] | None = None) -> 
     Returns the host sockets now holding an nPT copy.
     """
     mask = mask or frozenset(vm.kernel.machine.node_ids())
+    # lint: allow[TLBGEN002] -- adding nPT replicas copies identical gPA->hPA entries; no cached translation goes stale, so no shootdown is due
     enable_replication(vm.npt, vm.kernel.pagecache, mask)
     return replica_sockets(vm.npt)
 
@@ -44,6 +45,7 @@ def replicate_guest(vm: VirtualMachine, mask: frozenset[int] | None = None) -> f
             "guest-level replication needs exposed vNUMA: the guest sees one node"
         )
     mask = mask or frozenset(vm.guest_machine.node_ids())
+    # lint: allow[TLBGEN002] -- adding gPT replicas copies identical guest entries; no cached translation goes stale, so no shootdown is due
     enable_replication(vm.gpt, vm.guest_pagecache, mask)
     return replica_sockets(vm.gpt)
 

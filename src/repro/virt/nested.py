@@ -75,6 +75,7 @@ class NestedTlb:
         self._tlb.insert(gfn << PAGE_SHIFT, Translation(pfn=host_pfn, flags=1, level=1))
 
     def flush(self) -> None:
+        # lint: allow[TLBGEN001] -- guest nested TLB: no generation-stamped fastpath reads it, the host hierarchy owns the real generation
         self._tlb.flush()
 
     @property
@@ -154,7 +155,7 @@ class TwoDimWalker:
             if is_write and level == LEAF_LEVEL:
                 new_entry |= PTE_DIRTY
             if new_entry != entry:
-                # lint: allow[PVOPS001] -- hardware A/D store: the 2D walker updates guest PTEs like an MMU, outside PV-Ops
+                # lint: allow[PVOPS001,PROV001] -- hardware A/D store: the 2D walker updates guest PTEs like an MMU, outside PV-Ops
                 page.entries[index] = new_entry
             if level == LEAF_LEVEL:
                 data_gfn = pte_pfn(entry)

@@ -108,6 +108,49 @@ class TestPerformancePage:
         assert "performance.md" in text, "observability.md lacks the cross-link"
 
 
+class TestStaticAnalysisPage:
+    def test_covers_the_whole_program_layer(self, repo_root):
+        page = (repo_root / "docs" / "static-analysis.md").read_text()
+        for required in (
+            "--whole-program",
+            "--format sarif",
+            "--no-baseline",
+            "--write-baseline",
+            "--rules",
+            "# protocol:",
+            "mutates[",
+            "defers[",
+            "settles[",
+            "ProtocolSpec",
+            "tests/lint/fixtures/",
+            "TLBGEN001",
+            "TLBGEN002",
+            "SHOOT001",
+            "PROV001",
+            "SPAN001",
+        ):
+            assert required in page, f"static-analysis.md lost: {required}"
+
+    def test_every_registered_rule_is_in_the_catalogue(self, repo_root):
+        from repro.lint.core import ALL_RULES, WHOLE_PROGRAM_RULES
+
+        page = (repo_root / "docs" / "static-analysis.md").read_text()
+        missing = [
+            rule
+            for rule in (*ALL_RULES, *WHOLE_PROGRAM_RULES)
+            if rule not in page
+        ]
+        assert not missing, f"rules undocumented in the catalogue: {missing}"
+
+    def test_cross_linked_from_performance(self, repo_root):
+        text = (repo_root / "docs" / "performance.md").read_text()
+        assert "static-analysis.md" in text, "performance.md lacks the cross-link"
+        assert "TLBGEN001" in text, (
+            "performance.md should name the rule that proves the "
+            "generation-bump premise"
+        )
+
+
 class TestObservabilityPage:
     def test_exists_and_covers_the_contract(self, repo_root):
         page = (repo_root / "docs" / "observability.md").read_text()

@@ -1,0 +1,17 @@
+"""Seeded PROV001 violation: a raw PTE store through an `.entries` alias.
+
+The per-file PVOPS001 only sees stores whose target is literally
+``<x>.entries[...]``; binding the array to a local first hides the store
+from it. The whole-program PROV001 tracks the alias and still flags it.
+``apply_entry_write`` is the blessed writer — stores inside it are the
+PV-Ops choke point itself and must not be reported.
+"""
+
+
+def poke_entry(page, index: int, value: int) -> None:
+    entries = page.entries
+    entries[index] = value  # BUG: raw store, bypasses apply_entry_write
+
+
+def apply_entry_write(page, index: int, value: int) -> None:
+    page.entries[index] = value  # the choke point itself: exempt

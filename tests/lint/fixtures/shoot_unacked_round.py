@@ -1,0 +1,32 @@
+"""Seeded SHOOT001 violation: an IPI round opened but never completed.
+
+``broadcast``'s fast path returns between ``_begin_round`` and
+``_complete_round``, so the round's cycles are never charged and its
+acks never collected. ``broadcast_paired`` is the correct twin.
+"""
+
+
+class LeakyShootdown:
+    def __init__(self):
+        self.rounds = 0
+        self.cycles = 0.0
+
+    # protocol: begins[shootdown-round] -- counters bumped, cost quoted
+    def _begin_round(self, n_cores: int) -> float:
+        self.rounds += 1
+        return 2000.0 * max(1, n_cores)
+
+    # protocol: ends[shootdown-round] -- the round is acked and charged
+    def _complete_round(self, cycles: float) -> float:
+        self.cycles += cycles
+        return cycles
+
+    def broadcast(self, n_cores: int, fast: bool) -> float:
+        cycles = self._begin_round(n_cores)
+        if fast:
+            return 0.0  # BUG: the round is never charged or acked
+        return self._complete_round(cycles)
+
+    def broadcast_paired(self, n_cores: int) -> float:
+        cycles = self._begin_round(n_cores)
+        return self._complete_round(cycles)

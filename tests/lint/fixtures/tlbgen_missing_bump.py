@@ -1,0 +1,23 @@
+"""Seeded TLBGEN001 violation: eviction without a generation bump.
+
+``invalidate_page`` is marked ``mutates[tlb-generation]`` but no path
+through it stores ``generation`` — exactly the bug that would let the
+vector engine's generation-stamped fastpath tokens validate stale
+lookups. ``flush`` is the correct twin: same marker, but every path ends
+in the bump, so the rule must stay quiet about it.
+"""
+
+
+class BrokenHierarchy:
+    def __init__(self):
+        self.generation = 0
+        self.cached = {}
+
+    # protocol: mutates[tlb-generation] -- evicts a cached translation
+    def invalidate_page(self, va: int) -> None:
+        self.cached.pop(va, None)  # BUG: the generation bump is missing
+
+    # protocol: mutates[tlb-generation] -- drops everything, then bumps
+    def flush(self) -> None:
+        self.cached.clear()
+        self.generation += 1

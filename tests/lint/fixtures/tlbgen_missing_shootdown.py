@@ -1,0 +1,29 @@
+"""Seeded TLBGEN002 violation: an unmap path that skips the shootdown.
+
+``unmap_page`` defers translation-visibility to its caller;
+``sys_munmap``'s lazy early return reaches the exit without a
+``flush_all``, leaving stale translations live on every other core.
+``sys_munmap_eager`` is the correct twin — unconditional shootdown.
+"""
+
+
+# protocol: defers[translation-visibility] -- caller owns the TLB shootdown
+def unmap_page(mappings: dict, va: int) -> None:
+    mappings.pop(va, None)
+
+
+# protocol: settles[translation-visibility] -- every core's caches flushed
+def flush_all(cores: list) -> float:
+    return 2000.0 * max(1, len(cores))
+
+
+def sys_munmap(mappings: dict, cores: list, va: int, lazy: bool) -> None:
+    unmap_page(mappings, va)
+    if lazy:
+        return  # BUG: stale translations survive on every other core
+    flush_all(cores)
+
+
+def sys_munmap_eager(mappings: dict, cores: list, va: int) -> None:
+    unmap_page(mappings, va)
+    flush_all(cores)

@@ -1,0 +1,97 @@
+"""Parse-once sharing: every file is parsed a single time per run and
+re-parsed only when it changes on disk.
+
+``repro.lint.core.PARSE_CALLS`` counts real ``ast.parse`` invocations,
+so the cache's behaviour is asserted exactly — and a timing test shows
+the end-to-end win over the naive parse-per-rule strategy the analyzer
+used to imply.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import repro
+import repro.lint.core as core
+from repro.lint import clear_parse_cache, lint_paths, lint_source
+from repro.lint.core import ALL_RULES
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+N_FIXTURES = len(list(FIXTURES.glob("*.py")))
+
+
+def _parses(fn):
+    before = core.PARSE_CALLS
+    fn()
+    return core.PARSE_CALLS - before
+
+
+class TestParseCounting:
+    def test_one_parse_per_file_per_run(self):
+        clear_parse_cache()
+        assert _parses(lambda: lint_paths([FIXTURES])) == N_FIXTURES
+
+    def test_second_run_parses_nothing(self):
+        clear_parse_cache()
+        lint_paths([FIXTURES])
+        assert _parses(lambda: lint_paths([FIXTURES])) == 0
+
+    def test_whole_program_pass_shares_the_per_file_parse(self):
+        """One parse covers both passes: the per-file rules and the
+        project index are built from the same ParsedModule objects."""
+        clear_parse_cache()
+        assert (
+            _parses(lambda: lint_paths([FIXTURES], whole_program=True))
+            == N_FIXTURES
+        )
+
+    def test_changed_file_is_reparsed(self, tmp_path):
+        target = tmp_path / "mutating.py"
+        target.write_text("x = 1\n")
+        clear_parse_cache()
+        assert _parses(lambda: lint_paths([target])) == 1
+        assert _parses(lambda: lint_paths([target])) == 0
+        target.write_text("x = 2\n")
+        # Force a distinct mtime even on coarse-grained filesystems.
+        stat = target.stat()
+        os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        assert _parses(lambda: lint_paths([target])) == 1
+
+
+class TestSharedParseSpeedup:
+    def test_shared_parse_beats_parse_per_rule(self):
+        """The satellite claim: parsing once and sharing the AST across
+        all rules is faster than the naive re-parse-per-rule loop, on a
+        real corpus (the repro.lint package itself plus repro.tlb)."""
+        package = Path(repro.__file__).resolve().parent
+        corpus = [
+            p
+            for sub in ("lint", "tlb")
+            for p in sorted((package / sub).rglob("*.py"))
+        ]
+        sources = [(p, p.read_text(encoding="utf-8")) for p in corpus]
+        assert len(sources) >= 10
+
+        clear_parse_cache()
+        t0 = time.perf_counter()
+        shared_parses = _parses(lambda: lint_paths(corpus))
+        t_shared = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        naive_parses = _parses(
+            lambda: [
+                lint_source(text, path=str(path), rules=[rule])
+                for rule in ALL_RULES
+                for path, text in sources
+            ]
+        )
+        t_naive = time.perf_counter() - t0
+
+        assert shared_parses == len(sources)
+        assert naive_parses == len(sources) * len(ALL_RULES)
+        assert t_shared < t_naive, (
+            f"shared-parse run ({t_shared:.3f}s) should beat the naive "
+            f"parse-per-rule run ({t_naive:.3f}s)"
+        )

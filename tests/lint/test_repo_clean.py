@@ -12,7 +12,7 @@ from pathlib import Path
 import repro
 from repro.lint import filter_baseline, lint_paths, load_baseline
 from repro.lint.baseline import default_baseline_path
-from repro.lint.core import ALL_RULES
+from repro.lint.core import ALL_RULES, WHOLE_PROGRAM_RULES
 
 PACKAGE_DIR = Path(repro.__file__).resolve().parent
 
@@ -28,6 +28,18 @@ def test_all_expected_rules_registered():
     }
 
 
+def test_all_expected_whole_program_rules_registered():
+    assert set(WHOLE_PROGRAM_RULES) == {
+        "PROV001",
+        "SHOOT001",
+        "SPAN001",
+        "TLBGEN001",
+        "TLBGEN002",
+    }
+    # The two vocabularies never overlap: a name resolves unambiguously.
+    assert not set(ALL_RULES) & set(WHOLE_PROGRAM_RULES)
+
+
 def test_repo_has_no_new_findings():
     result = lint_paths([PACKAGE_DIR])
     baseline_path = default_baseline_path()
@@ -35,6 +47,17 @@ def test_repo_has_no_new_findings():
     new = filter_baseline(result.findings, load_baseline(baseline_path))
     formatted = "\n".join(f"{f.location()}: {f.rule} {f.message}" for f in new)
     assert not new, f"new lint findings:\n{formatted}"
+
+
+def test_repo_is_clean_under_whole_program_rules():
+    """The CI strict gate: the call-graph/CFG protocol rules (TLBGEN,
+    SHOOT, PROV, SPAN) find nothing new anywhere in ``src/repro``."""
+    result = lint_paths([PACKAGE_DIR], whole_program=True)
+    new = filter_baseline(
+        result.findings, load_baseline(default_baseline_path())
+    )
+    formatted = "\n".join(f"{f.location()}: {f.rule} {f.message}" for f in new)
+    assert not new, f"new whole-program lint findings:\n{formatted}"
 
 
 def test_baseline_is_not_stale():

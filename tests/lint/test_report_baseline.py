@@ -3,15 +3,24 @@
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 from repro.lint import (
     filter_baseline,
+    lint_paths,
     lint_source,
     load_baseline,
     render_json,
+    render_sarif,
     render_text,
     write_baseline,
 )
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 FIXTURE = (
     "import random\n"
@@ -63,6 +72,44 @@ class TestJsonReport:
         assert all(f["new"] is False for f in document["findings"])
 
 
+class TestSarifReport:
+    def test_document_shape(self):
+        result = _result()
+        document = json.loads(render_sarif(result))
+        assert document["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in document["$schema"]
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert "DET001" in rule_ids and "PVOPS001" in rule_ids
+        assert len(run["results"]) == 2
+        first = run["results"][0]
+        assert first["ruleId"] == "DET001"
+        assert first["level"] == "error"
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/fixture.py"
+        assert location["region"]["startLine"] == 2
+        assert location["region"]["startColumn"] == 19  # SARIF is 1-based
+        assert "repro/v1" in first["partialFingerprints"]
+
+    def test_baseline_state_marks_new_vs_unchanged(self):
+        result = _result()
+        document = json.loads(render_sarif(result, new_findings=result.findings[:1]))
+        states = [r["baselineState"] for r in document["runs"][0]["results"]]
+        assert states == ["new", "unchanged"]
+
+    def test_whole_program_rules_carry_descriptions(self):
+        result = lint_paths(
+            [FIXTURES_DIR / "tlbgen_missing_bump.py"], whole_program=True
+        )
+        document = json.loads(render_sarif(result))
+        driver = document["runs"][0]["tool"]["driver"]
+        by_id = {r["id"]: r for r in driver["rules"]}
+        assert "TLBGEN001" in by_id
+        assert "generation" in by_id["TLBGEN001"]["shortDescription"]["text"]
+
+
 class TestBaseline:
     def test_round_trip_filters_everything(self, tmp_path):
         result = _result()
@@ -108,3 +155,66 @@ class TestBaseline:
             assert "version" in str(exc)
         else:  # pragma: no cover
             raise AssertionError("expected ValueError")
+
+    def test_whole_program_findings_round_trip(self, tmp_path):
+        """Baselining works for the call-graph rules too: a baselined
+        TLBGEN/SHOOT/SPAN/PROV finding filters to nothing, and a fresh
+        violation still surfaces against that baseline."""
+        result = lint_paths([FIXTURES_DIR], whole_program=True)
+        assert {f.rule for f in result.findings} >= {"TLBGEN001", "SHOOT001"}
+        path = tmp_path / "baseline.json"
+        write_baseline(result.findings, path)
+        assert filter_baseline(result.findings, load_baseline(path)) == []
+        # Drop one entry: exactly that finding resurfaces as new.
+        partial = [f for f in result.findings if f.rule != "SHOOT001"]
+        write_baseline(partial, path)
+        new = filter_baseline(result.findings, load_baseline(path))
+        assert [f.rule for f in new] == ["SHOOT001"]
+
+
+class TestCliStrictMode:
+    """``--no-baseline`` means every finding counts — the seeded fixtures
+    must fail the whole-program CLI run (exit 1) and appear in the SARIF
+    output; the pristine source tree must pass it clean."""
+
+    def _lint(self, *args: str) -> subprocess.CompletedProcess:
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+
+    def test_seeded_fixtures_fail_strict_whole_program_run(self):
+        proc = self._lint(
+            str(FIXTURES_DIR), "--whole-program", "--no-baseline"
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        for rule in ("TLBGEN001", "TLBGEN002", "SHOOT001", "PROV001", "SPAN001"):
+            assert rule in proc.stdout
+
+    def test_seeded_fixtures_render_as_sarif(self):
+        proc = self._lint(
+            str(FIXTURES_DIR),
+            "--whole-program",
+            "--no-baseline",
+            "--format",
+            "sarif",
+        )
+        assert proc.returncode == 1
+        document = json.loads(proc.stdout)
+        states = {
+            r["baselineState"] for r in document["runs"][0]["results"]
+        }
+        assert states == {"new"}
+
+    def test_package_passes_baselined_whole_program_run(self):
+        proc = self._lint("--whole-program")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_unknown_rule_name_is_a_usage_error(self):
+        proc = self._lint("--rules", "NOPE999")
+        assert proc.returncode == 2
+        assert "TLBGEN001" in proc.stderr  # the message lists both vocabularies

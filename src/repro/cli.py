@@ -14,16 +14,20 @@ sub-commands for the experiment harnesses, the analysis tools, the chaos
     python -m repro scenario multisocket canneal F+M --thp
     python -m repro dump memcached
     python -m repro table4
-    python -m repro chaos --scenario replication-oom --seed 7
+    python -m repro chaos --scenario replication-oom --seed 7 --json
+    python -m repro fleet campaign --seeds 0-7 --intensities 0.5,1.0,2.0
+    python -m repro fleet sweep --workloads gups,btree --seeds 1234
     python -m repro lint --format json
     python -m repro trace --out trace.json chaos --scenario replication-oom
     python -m repro perf --accesses 50000 --out BENCH_engine.json
 
 ``trace`` wraps any of the simulation sub-commands (``numactl``,
-``scenario``, ``dump``, ``chaos``) in a :mod:`repro.trace` session and
-exports the timeline — see docs/observability.md. ``perf`` benchmarks
-the scalar-vs-vector interpreter tiers and writes ``BENCH_engine.json``
-— see docs/performance.md.
+``scenario``, ``dump``, ``chaos``, ``fleet``) in a :mod:`repro.trace`
+session and exports the timeline — see docs/observability.md. ``fleet``
+shards a whole grid of cells across supervised worker processes with a
+crash-safe result cache — see docs/fleet.md. ``perf`` benchmarks the
+scalar-vs-vector interpreter tiers and writes ``BENCH_engine.json`` —
+see docs/performance.md.
 """
 
 from __future__ import annotations
@@ -92,9 +96,102 @@ def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=7, help="fault-plan seed")
     parser.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="fault-plan intensity multiplier: scales rule probabilities "
+        "and limits (>1 = more hostile, <1 = gentler; default 1.0)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the structured verdict (repro-chaos-verdict/1 JSON) "
+        "instead of the text report",
+    )
+    parser.add_argument(
         "--pte-sanitizer", action="store_true",
         help="guard every PTE store with the runtime sanitizer "
         "(also enabled by REPRO_PTE_SANITIZER=1)",
+    )
+
+
+def _add_fleet_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "mode", choices=["campaign", "sweep"],
+        help="campaign: chaos grid (scenario x seed x intensity); "
+        "sweep: scenario-measurement grid (workload x config x seed)",
+    )
+    parser.add_argument(
+        "--scenarios", default=None, metavar="LIST",
+        help="campaign: comma-separated chaos scenarios (default: all)",
+    )
+    parser.add_argument(
+        "--seeds", default="7", metavar="LIST",
+        help="seed list, numactl-style: '0-7', '1,2,3' (default: 7)",
+    )
+    parser.add_argument(
+        "--intensities", default="1.0", metavar="LIST",
+        help="campaign: comma-separated fault-plan intensities (default: 1.0)",
+    )
+    parser.add_argument(
+        "--harness", choices=["multisocket", "migration"], default="multisocket",
+        help="sweep: which experiment harness (default: multisocket)",
+    )
+    parser.add_argument(
+        "--workloads", default="gups", metavar="LIST",
+        help="sweep: comma-separated workloads (default: gups)",
+    )
+    parser.add_argument(
+        "--configs", default=None, metavar="LIST",
+        help="sweep: comma-separated configs (default: every config of "
+        "the chosen harness)",
+    )
+    parser.add_argument("--thp", action="store_true", help="sweep: enable THP")
+    parser.add_argument(
+        "--mitosis", action="store_true", help="sweep (migration): add the +M repair"
+    )
+    parser.add_argument("--footprint-mib", type=int, default=64)
+    parser.add_argument("--accesses", type=int, default=20_000)
+    parser.add_argument(
+        "--cache-dir", default=".fleet-cache",
+        help="crash-safe result cache / resume checkpoint (default: .fleet-cache)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="supervised worker processes; 0 runs jobs inline (default: 2)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-attempt wall-clock budget in seconds before the worker "
+        "is killed (default: 60)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per job before quarantine (default: 3)",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help="write a per-job Chrome trace bundle into this directory "
+        "(worker mode only)",
+    )
+    parser.add_argument(
+        "--report", default=None,
+        help="also write the full fleet report JSON to this path",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the report as repro-fleet-report/1 JSON instead of text",
+    )
+    parser.add_argument(
+        "--inject-crash", type=float, default=0.0, metavar="P",
+        help="self-hosting chaos: crash each worker launch with this "
+        "probability (site fleet.worker.crash)",
+    )
+    parser.add_argument(
+        "--inject-hang", type=int, default=0, metavar="N",
+        help="self-hosting chaos: hang every Nth worker launch (killed at "
+        "the timeout; 0 = never)",
+    )
+    parser.add_argument(
+        "--inject-seed", type=int, default=42,
+        help="seed for the fleet's own fault plan (default: 42)",
     )
 
 
@@ -161,6 +258,8 @@ TRACEABLE_COMMANDS: dict[str, tuple[str, object]] = {
     "scenario": ("run a paper experiment configuration", _add_scenario_args),
     "dump": ("page-table placement snapshot (Fig. 3)", _add_dump_args),
     "chaos": ("run a fault-injection scenario and verify replica consistency", _add_chaos_args),
+    "fleet": ("run a fault-tolerant sweep: supervised workers + crash-safe "
+              "result cache (docs/fleet.md)", _add_fleet_args),
 }
 
 
@@ -293,20 +392,112 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """``repro chaos``: one seeded fault-injection scenario end-to-end,
     ending with the replica-consistency verifier; exits 1 on a verifier
-    violation. ``--pte-sanitizer`` additionally guards every PTE store."""
+    violation. ``--intensity`` scales the fault plan's hostility,
+    ``--json`` prints the structured ``repro-chaos-verdict/1`` verdict,
+    and ``--pte-sanitizer`` additionally guards every PTE store."""
+    import json
+
     from repro.lint.sanitizer import PTESanitizer, env_enabled
 
     sanitizer = None
     if args.pte_sanitizer or env_enabled():
         sanitizer = PTESanitizer().install()
     try:
-        report = run_chaos(args.scenario, seed=args.seed)
+        report = run_chaos(args.scenario, seed=args.seed, intensity=args.intensity)
     finally:
         if sanitizer is not None:
             sanitizer.uninstall()
-    print(report.render())
-    if sanitizer is not None:
-        print(f"  {sanitizer.summary()}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        if sanitizer is not None:
+            print(f"  {sanitizer.summary()}")
+    return 0 if report.ok else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet``: drive a whole grid of cells to terminal outcomes
+    under supervision (docs/fleet.md).
+
+    ``campaign`` fans :mod:`repro.sim.chaos` scenarios across a
+    seed × intensity grid and aggregates the verifier verdicts;
+    ``sweep`` does the same for scenario measurements. Completed cells
+    checkpoint into ``--cache-dir`` as they finish, so an interrupted
+    invocation resumes incrementally; cells that fail ``--max-attempts``
+    times are quarantined and reported with a one-line reproducer.
+    ``--inject-crash`` / ``--inject-hang`` turn the fleet's own chaos on
+    (site ``fleet.worker.crash``). Exit status: 0 all cells ok, 1 any
+    failing cell, 130 interrupted.
+    """
+    import json
+
+    from repro.fleet import Fleet, FleetConfig, ResultCache, chaos_grid, scenario_grid
+    from repro.inject import FaultPlan
+    from repro.sim.scenario import MIGRATION_CONFIGS as _MIG
+    from repro.sim.scenario import MULTISOCKET_CONFIGS as _MULTI
+
+    try:
+        seeds = sorted(parse_socket_list(args.seeds)) or [7]
+        intensities = [float(x) for x in args.intensities.split(",") if x.strip()]
+    except Exception as exc:  # noqa: BLE001 - argument validation
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.mode == "campaign":
+            scenarios = (
+                [s.strip() for s in args.scenarios.split(",") if s.strip()]
+                if args.scenarios else None
+            )
+            specs = chaos_grid(scenarios=scenarios, seeds=seeds, intensities=intensities)
+        else:
+            default_configs = _MULTI if args.harness == "multisocket" else _MIG
+            configs = (
+                [c.strip() for c in args.configs.split(",") if c.strip()]
+                if args.configs else list(default_configs)
+            )
+            workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+            specs = scenario_grid(
+                args.harness, workloads, configs, seeds=seeds,
+                thp=args.thp, mitosis=args.mitosis,
+                footprint_mib=args.footprint_mib, accesses=args.accesses,
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    plan = None
+    if args.inject_crash > 0 or args.inject_hang > 0:
+        plan = FaultPlan(seed=args.inject_seed)
+        if args.inject_crash > 0:
+            plan.worker_crash(probability=args.inject_crash)
+        if args.inject_hang > 0:
+            plan.worker_crash(hang=True, every=args.inject_hang)
+    config = FleetConfig(
+        workers=args.workers,
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        trace_dir=args.trace_dir,
+        fault_plan=plan,
+    )
+    fleet = Fleet(config, ResultCache(args.cache_dir))
+    print(f"fleet {args.mode}: {len(specs)} cell(s), workers={args.workers}, "
+          f"cache={args.cache_dir}", file=sys.stderr)
+    report = fleet.run(specs)
+    if args.report:
+        from pathlib import Path
+
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report written to {args.report}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if report.interrupted:
+        return 130
     return 0 if report.ok else 1
 
 
@@ -451,6 +642,7 @@ COMMANDS: dict[str, object] = {
     "dump": _cmd_dump,
     "table4": _cmd_table4,
     "chaos": _cmd_chaos,
+    "fleet": _cmd_fleet,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
     "perf": _cmd_perf,

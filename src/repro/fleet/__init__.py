@@ -1,0 +1,78 @@
+"""Fault-tolerant scenario fleet: supervised workers, crash-safe cache,
+chaos campaigns at scale.
+
+The fleet turns the repository's deterministic single-run harnesses
+(:mod:`repro.sim.scenario`, :mod:`repro.sim.chaos`, :mod:`repro.sim.bench`)
+into sweeps that survive crashing, hanging and flaky cells:
+
+* :mod:`repro.fleet.jobs` — serializable job specs and the
+  content-addressed :func:`job_key` (spec + engine + code version);
+* :mod:`repro.fleet.cache` — the crash-safe :class:`ResultCache`
+  (atomic write-rename, per-entry checksums, corrupt-entry eviction)
+  that doubles as the resume checkpoint;
+* :mod:`repro.fleet.supervisor` — one supervised worker process per
+  attempt, with wall-clock timeouts and SIGTERM→SIGKILL escalation;
+* :mod:`repro.fleet.dispatcher` — :class:`Fleet`: sharding, bounded
+  retries with backoff + jitter, poisoned-job quarantine, graceful
+  SIGINT shutdown, and self-hosted chaos at ``fleet.worker.crash``;
+* :mod:`repro.fleet.report` — :class:`FleetReport`: merged outcomes,
+  chaos-campaign aggregation, failing-cell reproducers.
+"""
+
+from repro.fleet.cache import CacheStats, ResultCache
+from repro.fleet.dispatcher import Fleet, FleetConfig
+from repro.fleet.jobs import (
+    KEY_SCHEMA,
+    ProbeSpec,
+    SPEC_KINDS,
+    canonical_json,
+    chaos_grid,
+    job_key,
+    scenario_grid,
+    spec_from_dict,
+)
+from repro.fleet.report import (
+    STATUS_CACHED,
+    STATUS_COMPUTED,
+    STATUS_QUARANTINED,
+    TERMINAL_STATUSES,
+    FleetReport,
+    JobOutcome,
+)
+from repro.fleet.supervisor import (
+    OUTCOME_CRASH,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    AttemptOutcome,
+    WorkerHandle,
+    run_attempt_inline,
+)
+
+__all__ = [
+    "KEY_SCHEMA",
+    "SPEC_KINDS",
+    "STATUS_CACHED",
+    "STATUS_COMPUTED",
+    "STATUS_QUARANTINED",
+    "TERMINAL_STATUSES",
+    "OUTCOME_OK",
+    "OUTCOME_ERROR",
+    "OUTCOME_CRASH",
+    "OUTCOME_TIMEOUT",
+    "AttemptOutcome",
+    "CacheStats",
+    "Fleet",
+    "FleetConfig",
+    "FleetReport",
+    "JobOutcome",
+    "ProbeSpec",
+    "ResultCache",
+    "WorkerHandle",
+    "canonical_json",
+    "chaos_grid",
+    "job_key",
+    "run_attempt_inline",
+    "scenario_grid",
+    "spec_from_dict",
+]

@@ -1,0 +1,394 @@
+"""The fleet dispatcher: shard jobs across supervised workers, survive
+everything.
+
+``Fleet.run`` takes a list of job specs and drives every cell to a
+terminal state:
+
+1. **Cache first** — each spec content-hashes to a key
+   (:func:`repro.fleet.jobs.job_key`); a verified cache entry is a
+   ``cached`` outcome and costs nothing.
+2. **Supervised execution** — misses fan out across up to
+   ``workers`` child processes (:class:`~repro.fleet.supervisor.WorkerHandle`),
+   each with a wall-clock timeout and SIGTERM→SIGKILL escalation.
+   ``workers=0`` runs inline (tests, tiny sweeps).
+3. **Bounded retries** — a failed attempt (error, crash, timeout)
+   requeues with exponential backoff plus deterministic jitter (the
+   backoff shape of :class:`~repro.mitosis.daemon.MitosisDaemon`, in
+   seconds instead of epochs).
+4. **Quarantine** — after ``max_attempts`` failures the cell is
+   quarantined: reported with its failure history and a one-line
+   reproducer, and the fleet moves on. A poisoned job can never wedge
+   the sweep.
+5. **Checkpointed shutdown** — every completed result is already in the
+   crash-safe cache, so SIGINT (KeyboardInterrupt) just stops cleanly:
+   in-flight workers are killed, finished results drained, and the
+   partial report marked ``interrupted``. Re-invoking resumes from the
+   cache without recomputing a single completed cell.
+
+**Self-hosting chaos**: a :class:`~repro.inject.FaultPlan` handed to
+:class:`FleetConfig` is consulted at the site
+``fleet.worker.crash`` before every launch — a firing rule simulates a
+worker crash (or, with ``delay_multiplier > 1``, a hung worker accounted
+as a timeout), exercising this module's own retry/quarantine machinery
+with the same seeded determinism as every other chaos scenario.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro._version import __version__
+from repro.fleet.cache import ResultCache
+from repro.fleet.jobs import JobSpecLike, job_key
+from repro.fleet.report import (
+    STATUS_CACHED,
+    STATUS_COMPUTED,
+    STATUS_QUARANTINED,
+    FleetReport,
+    JobOutcome,
+)
+from repro.fleet.supervisor import (
+    OUTCOME_CRASH,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    AttemptOutcome,
+    WorkerHandle,
+    run_attempt_inline,
+)
+from repro.inject.plan import SITE_WORKER_CRASH, FaultPlan
+from repro.trace.integrate import publish_fleet_report
+from repro.trace.session import current_session
+
+
+def _now() -> float:
+    """Wall clock for scheduling only (timeouts, backoff windows)."""
+    return time.monotonic()  # lint: allow[DET001] -- fleet scheduling is real time
+
+
+@dataclass
+class FleetConfig:
+    """Tunables of one dispatch."""
+
+    #: Concurrent worker processes; 0 = run jobs inline in this process.
+    workers: int = 2
+    #: Per-attempt wall-clock budget before the SIGKILL escalation.
+    timeout: float = 60.0
+    #: SIGTERM → SIGKILL grace, and how long to wait for a clean exit.
+    grace: float = 0.5
+    #: Attempts per job before quarantine (first try + retries).
+    max_attempts: int = 3
+    #: Retry backoff: ``base * 2**(attempt-1)`` seconds, capped, plus up
+    #: to 25% deterministic jitter (same shape as the mitosis daemon's
+    #: degraded-mask retry, which backs off in epochs).
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: Seed for the jitter RNG (mixed with each job key).
+    seed: int = 0
+    #: Engine tier baked into every cache key.
+    engine: str = "vector"
+    #: Code version baked into every cache key.
+    code_version: str = __version__
+    #: Directory for per-job Chrome trace bundles (worker mode only).
+    trace_dir: str | None = None
+    #: Self-hosting chaos: consulted at ``fleet.worker.crash`` per launch.
+    fault_plan: FaultPlan | None = None
+    #: Main-loop poll cadence in seconds.
+    poll_interval: float = 0.005
+
+
+@dataclass
+class _JobState:
+    """Dispatcher-side bookkeeping for one pending cell."""
+
+    spec: JobSpecLike
+    key: str
+    attempts: int = 0
+    failures: list[str] = field(default_factory=list)
+    not_before: float = 0.0
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    first_started: float = 0.0
+
+
+class Fleet:
+    """One dispatcher bound to a config and a result cache."""
+
+    def __init__(self, config: FleetConfig, cache: ResultCache):
+        self.config = config
+        self.cache = cache
+
+    # -- public entry ----------------------------------------------------------
+
+    def run(
+        self,
+        specs: list[JobSpecLike],
+        progress: Callable[[FleetReport, JobOutcome], None] | None = None,
+    ) -> FleetReport:
+        """Drive every spec to a terminal outcome; returns the report.
+
+        ``progress`` is called after each terminal outcome (the CLI's
+        ticker; tests also use it to simulate a mid-sweep SIGINT by
+        raising ``KeyboardInterrupt`` from it).
+        """
+        config = self.config
+        report = FleetReport(engine=config.engine, code_version=config.code_version)
+        session = current_session()
+        start = _now()
+        if session is None:
+            self._dispatch(specs, report, progress)
+        else:
+            with session.span(
+                "fleet.run", category="fleet", jobs=len(specs), workers=config.workers
+            ) as span:
+                self._dispatch(specs, report, progress)
+                span.set(
+                    cached=report.cached,
+                    computed=report.computed,
+                    quarantined=report.quarantined,
+                    interrupted=report.interrupted,
+                )
+            publish_fleet_report(session, report)
+        report.wall_seconds = _now() - start
+        report.cache = self.cache.stats.to_dict()
+        return report
+
+    # -- the dispatch loop -----------------------------------------------------
+
+    def _dispatch(self, specs, report, progress) -> None:
+        config = self.config
+        pending: list[_JobState] = []
+        seen: set[str] = set()
+        for spec in specs:
+            key = job_key(spec, engine=config.engine, code_version=config.code_version)
+            if key in seen:
+                continue  # identical cell listed twice: one outcome
+            seen.add(key)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._settle_cached(report, spec, key, cached, progress)
+                continue
+            pending.append(
+                _JobState(
+                    spec=spec,
+                    key=key,
+                    rng=random.Random(config.seed ^ zlib.crc32(key.encode())),
+                )
+            )
+
+        running: list[tuple[_JobState, WorkerHandle]] = []
+        try:
+            while pending or running:
+                launched = self._launch_eligible(pending, running, report, progress)
+                settled = self._poll_running(running, pending, report, progress)
+                if not launched and not settled:
+                    time.sleep(config.poll_interval)
+        except KeyboardInterrupt:
+            # Graceful shutdown: drain anything already finished (their
+            # results are checkpointed in the cache), kill the rest.
+            self._poll_running(running, pending, report, progress=None)
+            for _, handle in running:
+                handle.stop()
+                handle.close()
+            report.interrupted = True
+
+    def _launch_eligible(self, pending, running, report, progress) -> bool:
+        """Start (or inline-run) every eligible pending job; True if any."""
+        config = self.config
+        launched = False
+        now = _now()
+        capacity = max(config.workers, 1) - len(running)
+        index = 0
+        while index < len(pending) and (config.workers == 0 or capacity > 0):
+            state = pending[index]
+            if state.not_before > now:
+                index += 1
+                continue
+            pending.pop(index)
+            launched = True
+            state.attempts += 1
+            injected = self._injected_outcome(state)
+            if injected is not None:
+                self._settle_attempt(state, injected, pending, report, progress)
+                continue
+            if config.workers == 0:
+                outcome = run_attempt_inline(state.spec, state.attempts)
+                self._settle_attempt(state, outcome, pending, report, progress)
+                continue
+            running.append(
+                (
+                    state,
+                    WorkerHandle(
+                        state.spec,
+                        state.attempts,
+                        timeout=config.timeout,
+                        grace=config.grace,
+                        trace_path=self._trace_path(state),
+                    ),
+                )
+            )
+            capacity -= 1
+        return launched
+
+    def _poll_running(self, running, pending, report, progress) -> bool:
+        """Collect every decided attempt; True if any settled."""
+        settled = False
+        index = 0
+        while index < len(running):
+            state, handle = running[index]
+            outcome = handle.poll()
+            if outcome is None:
+                index += 1
+                continue
+            handle.close()
+            running.pop(index)
+            settled = True
+            # Requeue-or-terminal goes through the same path as inline.
+            self._settle_attempt(state, outcome, pending, report, progress)
+        return settled
+
+    # -- attempt settlement ----------------------------------------------------
+
+    def _injected_outcome(self, state: _JobState) -> AttemptOutcome | None:
+        """Self-hosting chaos: should this launch die before it starts?"""
+        plan = self.config.fault_plan
+        if plan is None:
+            return None
+        rule = plan.fire(
+            SITE_WORKER_CRASH,
+            key=state.key[:12],
+            kind=state.spec.kind,
+            label=state.spec.label(),
+            attempt=state.attempts,
+        )
+        if rule is None:
+            return None
+        if rule.delay_multiplier > 1.0:
+            return AttemptOutcome(
+                status=OUTCOME_TIMEOUT,
+                detail="injected hang (fleet.worker.crash): worker killed at deadline",
+            )
+        return AttemptOutcome(
+            status=OUTCOME_CRASH,
+            detail="injected crash (fleet.worker.crash): worker died without a result",
+        )
+
+    def _settle_attempt(
+        self, state, outcome: AttemptOutcome, pending, report, progress
+    ) -> None:
+        config = self.config
+        session = current_session()
+        if outcome.status == OUTCOME_OK:
+            payload = outcome.payload if isinstance(outcome.payload, dict) else {}
+            self.cache.put(state.key, payload)
+            self._terminal(
+                report,
+                JobOutcome(
+                    key=state.key,
+                    kind=state.spec.kind,
+                    label=state.spec.label(),
+                    status=STATUS_COMPUTED,
+                    attempts=state.attempts,
+                    seconds=outcome.seconds,
+                    ok=bool(payload.get("ok", True)),
+                    failures=list(state.failures),
+                    reproducer=state.spec.reproducer(),
+                    payload=payload,
+                ),
+                progress,
+            )
+            return
+
+        detail = f"attempt {state.attempts}: [{outcome.status}] {outcome.detail}"
+        state.failures.append(detail)
+        if outcome.status == OUTCOME_TIMEOUT:
+            report.timeouts += 1
+        elif outcome.status == OUTCOME_CRASH:
+            report.crashes += 1
+        else:
+            report.errors += 1
+        if "injected hang" in outcome.detail:
+            report.injected_hangs += 1
+        elif "injected crash" in outcome.detail:
+            report.injected_crashes += 1
+
+        if state.attempts >= config.max_attempts:
+            if session is not None:
+                session.instant(
+                    "fleet-quarantine",
+                    category="fleet",
+                    label=state.spec.label(),
+                    attempts=state.attempts,
+                )
+            self._terminal(
+                report,
+                JobOutcome(
+                    key=state.key,
+                    kind=state.spec.kind,
+                    label=state.spec.label(),
+                    status=STATUS_QUARANTINED,
+                    attempts=state.attempts,
+                    seconds=outcome.seconds,
+                    ok=False,
+                    failures=list(state.failures),
+                    reproducer=state.spec.reproducer(),
+                ),
+                progress,
+            )
+            return
+
+        # Transient failure: back off and requeue.
+        report.retries += 1
+        if session is not None:
+            session.count("fleet.retries")
+        delay = min(
+            config.backoff_cap, config.backoff_base * (2 ** (state.attempts - 1))
+        )
+        delay *= 1.0 + 0.25 * state.rng.random()
+        state.not_before = _now() + delay
+        pending.append(state)
+
+    def _settle_cached(self, report, spec, key, payload, progress) -> None:
+        self._terminal(
+            report,
+            JobOutcome(
+                key=key,
+                kind=spec.kind,
+                label=spec.label(),
+                status=STATUS_CACHED,
+                attempts=0,
+                ok=bool(payload.get("ok", True)),
+                reproducer=spec.reproducer(),
+                payload=payload,
+            ),
+            progress,
+        )
+
+    def _terminal(self, report, outcome: JobOutcome, progress) -> None:
+        report.outcomes.append(outcome)
+        session = current_session()
+        if session is not None:
+            session.count(f"fleet.{outcome.status}")
+            session.instant(
+                "fleet-job",
+                category="fleet",
+                label=outcome.label,
+                status=outcome.status,
+                attempts=outcome.attempts,
+                ok=outcome.ok,
+            )
+        if progress is not None:
+            progress(report, outcome)
+
+    def _trace_path(self, state: _JobState) -> str | None:
+        trace_dir = self.config.trace_dir
+        if not trace_dir:
+            return None
+        from pathlib import Path
+
+        directory = Path(trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        return str(directory / f"{state.key}.attempt{state.attempts}.trace.json")

@@ -1,0 +1,224 @@
+"""Supervised worker processes: launch, poll, timeout, kill.
+
+One :class:`WorkerHandle` owns one *attempt* of one job in a child
+process. The parent never trusts the child: results come back over a
+one-way pipe, liveness is observed (not assumed), and a wall-clock
+deadline is enforced with escalation — SIGTERM first, then SIGKILL after
+a short grace period, so even a worker stuck in uninterruptible Python
+(or ignoring SIGTERM) cannot wedge the fleet.
+
+Attempt outcomes are a closed set:
+
+* ``ok`` — the child sent a payload and exited;
+* ``error`` — the child caught a job-level exception and reported it
+  (the job is retryable; the worker itself behaved);
+* ``crash`` — the child died without reporting (killed, ``os._exit``,
+  segfault-shaped);
+* ``timeout`` — the deadline passed; the supervisor killed the child.
+
+Wall-clock use here is deliberate and annotated: supervision is about
+*real* time (a hung worker hangs in real seconds), and nothing measured
+here feeds back into simulated state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+from repro.fleet.jobs import JobSpecLike, spec_from_dict
+
+#: Attempt outcome statuses.
+OUTCOME_OK = "ok"
+OUTCOME_ERROR = "error"
+OUTCOME_CRASH = "crash"
+OUTCOME_TIMEOUT = "timeout"
+
+
+@dataclass
+class AttemptOutcome:
+    """What one worker attempt came to."""
+
+    status: str
+    payload: dict | None = None
+    detail: str = ""
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OUTCOME_OK
+
+
+def _now() -> float:
+    """Wall clock for supervision deadlines only."""
+    return time.monotonic()  # lint: allow[DET001] -- supervision timeouts are real time
+
+
+def _worker_entry(spec_dict: dict, attempt: int, conn, trace_path: str | None) -> None:
+    """Child-process body: run the job, report over the pipe, exit.
+
+    With ``trace_path`` set, the whole job runs under its own
+    :class:`~repro.trace.session.TraceSession` whose Chrome export lands
+    at that path — the per-job trace bundle of a fleet run.
+    """
+    from contextlib import nullcontext
+
+    from repro.trace.session import TraceSession, tracing
+    from repro.trace.sinks import ChromeTraceSink
+
+    try:
+        spec = spec_from_dict(spec_dict)
+        if trace_path:
+            sink = ChromeTraceSink(trace_path)
+            session = TraceSession(
+                sinks=[sink],
+                metadata={"fleet-job": spec.label(), "attempt": attempt},
+            )
+            sink.open_session(session)
+            scope = tracing(session)
+        else:
+            scope = nullcontext()
+        with scope:
+            payload = spec.run(attempt=attempt)
+        conn.send({"status": OUTCOME_OK, "payload": payload})
+    except BaseException as exc:  # noqa: BLE001 - the report *is* the handler
+        try:
+            conn.send(
+                {"status": OUTCOME_ERROR, "detail": f"{type(exc).__name__}: {exc}"}
+            )
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            pass
+    finally:
+        conn.close()
+
+
+class WorkerHandle:
+    """One launched attempt: process + pipe + deadline."""
+
+    def __init__(
+        self,
+        spec: JobSpecLike,
+        attempt: int,
+        timeout: float,
+        grace: float = 0.5,
+        trace_path: str | None = None,
+        context: multiprocessing.context.BaseContext | None = None,
+    ):
+        self.spec = spec
+        self.attempt = attempt
+        self.timeout = timeout
+        self.grace = grace
+        ctx = context or multiprocessing.get_context()
+        self._recv, child_send = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_worker_entry,
+            args=(spec.to_dict(), attempt, child_send, trace_path),
+            daemon=True,
+        )
+        self.process.start()
+        child_send.close()  # the parent keeps only the read end
+        self.started = _now()
+
+    # -- observation ----------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return _now() - self.started
+
+    def poll(self) -> AttemptOutcome | None:
+        """Non-blocking check; an outcome once the attempt is decided.
+
+        Order matters: a reported result wins over an exit code (a child
+        that sends then exits is ``ok``, not ``crash``), and a result
+        that arrives in the same tick as the deadline still counts.
+        """
+        message = self._try_recv()
+        if message is not None:
+            return self._finish(message)
+        if self.elapsed() > self.timeout:
+            self.stop()
+            # One last look: the child may have reported right before dying.
+            message = self._try_recv()
+            if message is not None:
+                return self._finish(message)
+            return AttemptOutcome(
+                status=OUTCOME_TIMEOUT,
+                detail=f"killed after {self.timeout:g}s wall-clock",
+                seconds=self.elapsed(),
+            )
+        if not self.process.is_alive():
+            message = self._try_recv()
+            if message is not None:
+                return self._finish(message)
+            self.process.join()
+            return AttemptOutcome(
+                status=OUTCOME_CRASH,
+                detail=f"worker died without a result (exit code "
+                f"{self.process.exitcode})",
+                seconds=self.elapsed(),
+            )
+        return None
+
+    def _try_recv(self) -> dict | None:
+        try:
+            if self._recv.poll():
+                return self._recv.recv()
+        except (EOFError, OSError):
+            return None
+        return None
+
+    def _finish(self, message: dict) -> AttemptOutcome:
+        self.process.join(timeout=self.grace)
+        if self.process.is_alive():  # pragma: no cover - refused to exit
+            self.stop()
+        return AttemptOutcome(
+            status=message.get("status", OUTCOME_ERROR),
+            payload=message.get("payload"),
+            detail=message.get("detail", ""),
+            seconds=self.elapsed(),
+        )
+
+    # -- control --------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Terminate with escalation: SIGTERM, then SIGKILL after grace."""
+        if not self.process.is_alive():
+            self.process.join()
+            return
+        self.process.terminate()
+        self.process.join(timeout=self.grace)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+
+    def close(self) -> None:
+        try:
+            self._recv.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def run_attempt_inline(spec: JobSpecLike, attempt: int) -> AttemptOutcome:
+    """Run one attempt in-process (``workers=0`` mode).
+
+    No isolation — a genuinely crashing or hanging job takes the
+    dispatcher with it — but exact determinism and zero fork overhead,
+    which is what tests and tiny sweeps want. Injected crashes/hangs
+    (site ``fleet.worker.crash``) are simulated by the dispatcher before
+    this is reached, so the fleet's failure handling stays testable even
+    inline.
+    """
+    start = _now()
+    try:
+        payload = spec.run(attempt=attempt)
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:  # noqa: BLE001 - the outcome *is* the handler
+        return AttemptOutcome(
+            status=OUTCOME_ERROR,
+            detail=f"{type(exc).__name__}: {exc}",
+            seconds=_now() - start,
+        )
+    return AttemptOutcome(
+        status=OUTCOME_OK, payload=payload, seconds=_now() - start
+    )

@@ -23,6 +23,7 @@ from repro.inject.plan import (
     SITE_SHOOTDOWN_DELAY,
     SITE_SHOOTDOWN_DROP,
     SITE_SWAP_STALL,
+    SITE_WORKER_CRASH,
     FaultPlan,
     FaultRule,
     InjectedFault,
@@ -41,6 +42,7 @@ __all__ = [
     "SITE_SHOOTDOWN_DELAY",
     "SITE_SHOOTDOWN_DROP",
     "SITE_SWAP_STALL",
+    "SITE_WORKER_CRASH",
     "FaultPlan",
     "FaultRule",
     "InjectedFault",

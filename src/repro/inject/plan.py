@@ -37,6 +37,13 @@ SITE_SHOOTDOWN_DELAY = "tlb.shootdown.delay"
 SITE_SHOOTDOWN_DROP = "tlb.shootdown.drop_ack"
 #: A swap-device I/O transiently stalls for ``stall_cycles`` extra cycles.
 SITE_SWAP_STALL = "kernel.swap.stall"
+#: A fleet worker attempt dies before producing a result: the dispatcher
+#: (:mod:`repro.fleet.dispatcher`) consults this site before every launch,
+#: so the fleet's own retry/quarantine machinery is testable with the same
+#: seeded plans as everything else (self-hosting chaos). A firing rule
+#: with ``delay_multiplier > 1`` simulates a *hung* worker (accounted as
+#: a timeout); any other firing rule simulates a crash.
+SITE_WORKER_CRASH = "fleet.worker.crash"
 
 ALL_SITES = (
     SITE_ALLOCATOR_OOM,
@@ -44,6 +51,7 @@ ALL_SITES = (
     SITE_SHOOTDOWN_DELAY,
     SITE_SHOOTDOWN_DROP,
     SITE_SWAP_STALL,
+    SITE_WORKER_CRASH,
 )
 
 
@@ -167,6 +175,17 @@ class FaultPlan:
         """Swap I/O transiently stalls."""
         return self.add(
             FaultRule(site=SITE_SWAP_STALL, stall_cycles=stall_cycles, **trigger)
+        )
+
+    def worker_crash(self, hang: bool = False, **trigger) -> FaultRule:
+        """A fleet worker attempt dies (``hang=True``: hangs until the
+        supervisor's wall-clock timeout kills it)."""
+        return self.add(
+            FaultRule(
+                site=SITE_WORKER_CRASH,
+                delay_multiplier=2.0 if hang else 1.0,
+                **trigger,
+            )
         )
 
     # -- the decision point --------------------------------------------------------

@@ -46,6 +46,15 @@ class Violation:
         )
         return f"{self.kind}{where}: {self.detail}"
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (``chaos --json`` and the fleet report)."""
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "pfn": self.pfn,
+            "index": self.index,
+        }
+
 
 @dataclass
 class VerifyReport:
@@ -58,6 +67,15 @@ class VerifyReport:
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (``chaos --json`` and the fleet report)."""
+        return {
+            "ok": self.ok,
+            "rings_checked": self.rings_checked,
+            "entries_checked": self.entries_checked,
+            "violations": [v.to_dict() for v in self.violations],
+        }
 
     def merge(self, other: "VerifyReport") -> None:
         self.rings_checked += other.rings_checked

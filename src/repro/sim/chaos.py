@@ -25,6 +25,14 @@ Scenarios:
     Swap I/O stalls intermittently while pages of a replicated process are
     evicted and touched back in; leaf PTEs must stay consistent across
     replicas through unmap/remap cycles.
+
+Every scenario takes an ``intensity`` knob that shapes its fault plan
+(probabilities and transient-fault limits scale with it), so one scenario
+spans a whole *fault-plan grid*: ``(scenario, seed, intensity)`` is the
+cell coordinate the fleet's chaos campaigns sweep
+(:mod:`repro.fleet.dispatcher`). :class:`ChaosSpec` is the serializable
+job descriptor for one such cell, and :meth:`ChaosReport.to_dict` is the
+structured verdict (``chaos --json``) the fleet and CI consume.
 """
 
 from __future__ import annotations
@@ -49,12 +57,77 @@ _PROT_RW = (1 << 1) | (1 << 2)  # writable | user
 _PROT_RO = 1 << 2  # user
 
 
+def _scaled_probability(base: float, intensity: float) -> float:
+    """Scale a rule probability with the plan intensity, clamped to 1."""
+    return min(1.0, base * intensity)
+
+
+def _scaled_limit(base: int, intensity: float) -> int:
+    """Scale a transient-fault limit with the plan intensity (min 1)."""
+    return max(1, round(base * intensity))
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Serializable descriptor of one chaos cell (a fleet job).
+
+    ``(scenario, seed, intensity)`` fully determines the run: the same
+    spec always injects the same faults and reaches the same verdict,
+    which is what makes the result cacheable by content hash.
+    """
+
+    scenario: str
+    seed: int = 7
+    intensity: float = 1.0
+    kind = "chaos"
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; choose from {SCENARIOS}"
+            )
+        if self.intensity <= 0:
+            raise ValueError("intensity must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "intensity": self.intensity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSpec":
+        return cls(
+            scenario=data["scenario"],
+            seed=int(data["seed"]),
+            intensity=float(data.get("intensity", 1.0)),
+        )
+
+    def label(self) -> str:
+        return f"chaos:{self.scenario}@seed={self.seed},x{self.intensity:g}"
+
+    def reproducer(self) -> str:
+        """One-line command that reruns exactly this cell."""
+        return (
+            f"python -m repro.cli chaos --scenario {self.scenario} "
+            f"--seed {self.seed} --intensity {self.intensity:g} --json"
+        )
+
+    def run(self, attempt: int = 1) -> dict:
+        """Execute the cell; returns the JSON-safe verdict payload."""
+        report = run_chaos(self.scenario, seed=self.seed, intensity=self.intensity)
+        return report.to_dict()
+
+
 @dataclass
 class ChaosReport:
     """Everything a chaos run observed, plus the verifier's verdict."""
 
     scenario: str
     seed: int
+    intensity: float = 1.0
     events: list[str] = field(default_factory=list)
     faults_injected: int = 0
     faults_by_site: dict[str, int] = field(default_factory=dict)
@@ -69,8 +142,29 @@ class ChaosReport:
     def ok(self) -> bool:
         return self.verify.ok
 
+    def to_dict(self) -> dict:
+        """Structured verdict (``chaos --json``): everything a machine
+        consumer — the fleet, CI — needs without scraping text."""
+        return {
+            "schema": "repro-chaos-verdict/1",
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "intensity": self.intensity,
+            "ok": self.ok,
+            "faults_injected": self.faults_injected,
+            "faults_by_site": dict(sorted(self.faults_by_site.items())),
+            "retries": self.retries,
+            "reclaim_rescues": self.reclaim_rescues,
+            "degradations": self.degradations,
+            "recoveries": self.recoveries,
+            "final_masks": {str(pid): mask for pid, mask in sorted(self.final_masks.items())},
+            "events": list(self.events),
+            "verify": self.verify.to_dict(),
+        }
+
     def render(self) -> str:
-        lines = [f"chaos scenario '{self.scenario}' (seed {self.seed})", ""]
+        suffix = "" if self.intensity == 1.0 else f", intensity {self.intensity:g}"
+        lines = [f"chaos scenario '{self.scenario}' (seed {self.seed}{suffix})", ""]
         lines.extend(f"  {event}" for event in self.events)
         lines.append("")
         lines.append(f"  faults injected : {self.faults_injected}")
@@ -87,8 +181,13 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def run_chaos(scenario: str, seed: int = 7) -> ChaosReport:
+def run_chaos(scenario: str, seed: int = 7, intensity: float = 1.0) -> ChaosReport:
     """Run one named scenario under a seeded fault plan; returns a report.
+
+    ``intensity`` shapes the scenario's fault plan: probabilities and
+    transient-fault limits scale with it (clamped to valid ranges), so
+    ``0.5`` is a gentler plan and ``2.0`` a harsher one — the fault-plan
+    axis of a chaos campaign grid.
 
     With tracing enabled (see :mod:`repro.trace`) the whole scenario is
     wrapped in a ``chaos.{scenario}`` root span, every injected fault
@@ -97,24 +196,28 @@ def run_chaos(scenario: str, seed: int = 7) -> ChaosReport:
     """
     if scenario not in SCENARIOS:
         raise ValueError(f"unknown scenario {scenario!r}; choose from {SCENARIOS}")
+    if intensity <= 0:
+        raise ValueError("intensity must be positive")
     session = current_session()
     if session is None:
-        return _run_chaos(scenario, seed)
-    with session.span(f"chaos.{scenario}", category="chaos", seed=seed) as span:
-        report = _run_chaos(scenario, seed)
+        return _run_chaos(scenario, seed, intensity)
+    with session.span(
+        f"chaos.{scenario}", category="chaos", seed=seed, intensity=intensity
+    ) as span:
+        report = _run_chaos(scenario, seed, intensity)
         span.set(ok=report.ok, faults_injected=report.faults_injected)
     publish_chaos_report(session, report)
     return report
 
 
-def _run_chaos(scenario: str, seed: int) -> ChaosReport:
+def _run_chaos(scenario: str, seed: int, intensity: float = 1.0) -> ChaosReport:
     runner = {
         "replication-oom": _run_replication_oom,
         "shootdown-storm": _run_shootdown_storm,
         "swap-stall": _run_swap_stall,
     }[scenario]
-    report = ChaosReport(scenario=scenario, seed=seed)
-    kernel, plan = runner(report, seed)
+    report = ChaosReport(scenario=scenario, seed=seed, intensity=intensity)
+    kernel, plan = runner(report, seed, intensity)
     report.faults_injected = plan.stats.total
     report.faults_by_site = dict(plan.stats.by_site)
     report.retries = kernel.resilience.retries
@@ -141,7 +244,9 @@ def _build_kernel(sockets: int = 2) -> Kernel:
     )
 
 
-def _run_replication_oom(report: ChaosReport, seed: int) -> tuple[Kernel, FaultPlan]:
+def _run_replication_oom(
+    report: ChaosReport, seed: int, intensity: float = 1.0
+) -> tuple[Kernel, FaultPlan]:
     kernel = _build_kernel()
     process = kernel.create_process("victim", socket=0)
     process.add_thread(1)
@@ -150,8 +255,9 @@ def _run_replication_oom(report: ChaosReport, seed: int) -> tuple[Kernel, FaultP
     # Socket 1's page-table allocations fail 4 times, then recover:
     # initial enable (fault 1), its reclaim-retry (fault 2), the daemon's
     # first completion attempt (faults 3, 4) — the second attempt succeeds.
+    # Intensity scales how long the transient outage lasts.
     plan = FaultPlan(seed=seed)
-    plan.pagecache_oom(node=1, limit=4)
+    plan.pagecache_oom(node=1, limit=_scaled_limit(4, intensity))
     install_fault_plan(kernel, plan)
 
     mask = frozenset({0, 1})
@@ -172,7 +278,9 @@ def _run_replication_oom(report: ChaosReport, seed: int) -> tuple[Kernel, FaultP
     return kernel, plan
 
 
-def _run_shootdown_storm(report: ChaosReport, seed: int) -> tuple[Kernel, FaultPlan]:
+def _run_shootdown_storm(
+    report: ChaosReport, seed: int, intensity: float = 1.0
+) -> tuple[Kernel, FaultPlan]:
     kernel = _build_kernel()
     process = kernel.create_process("stormy", socket=0)
     process.add_thread(1)
@@ -180,8 +288,13 @@ def _run_shootdown_storm(report: ChaosReport, seed: int) -> tuple[Kernel, FaultP
     kernel.mitosis.set_replication_mask(process, frozenset({0, 1}))
 
     plan = FaultPlan(seed=seed)
-    plan.shootdown_delay(multiplier=8.0, probability=0.4)
-    plan.drop_acks(probability=0.3, limit=12)
+    plan.shootdown_delay(
+        multiplier=8.0, probability=_scaled_probability(0.4, intensity)
+    )
+    plan.drop_acks(
+        probability=_scaled_probability(0.3, intensity),
+        limit=_scaled_limit(12, intensity),
+    )
     install_fault_plan(kernel, plan)
 
     for i in range(24):
@@ -198,7 +311,9 @@ def _run_shootdown_storm(report: ChaosReport, seed: int) -> tuple[Kernel, FaultP
     return kernel, plan
 
 
-def _run_swap_stall(report: ChaosReport, seed: int) -> tuple[Kernel, FaultPlan]:
+def _run_swap_stall(
+    report: ChaosReport, seed: int, intensity: float = 1.0
+) -> tuple[Kernel, FaultPlan]:
     kernel = _build_kernel()
     process = kernel.create_process("swappy", socket=0)
     process.add_thread(1)
@@ -206,7 +321,7 @@ def _run_swap_stall(report: ChaosReport, seed: int) -> tuple[Kernel, FaultPlan]:
     kernel.mitosis.set_replication_mask(process, frozenset({0, 1}))
 
     plan = FaultPlan(seed=seed)
-    plan.swap_stall(probability=0.5)
+    plan.swap_stall(probability=_scaled_probability(0.5, intensity))
     install_fault_plan(kernel, plan)
 
     evicted = kernel.swap.reclaim(process, target_pages=32)

@@ -23,7 +23,13 @@ class Bar:
     speedup_vs_pair: float | None = None
 
     def render(self) -> str:
-        speedup = f"  ({self.speedup_vs_pair:.2f}x)" if self.speedup_vs_pair else ""
+        # A legitimate 0.00x speedup is still a speedup annotation; only a
+        # missing pair (None) drops it.
+        speedup = (
+            f"  ({self.speedup_vs_pair:.2f}x)"
+            if self.speedup_vs_pair is not None
+            else ""
+        )
         return (
             f"{self.workload:>10} {self.config:>10}: "
             f"{self.normalized_runtime:5.2f}  [walk {self.walk_fraction:5.1%}]{speedup}"

@@ -298,6 +298,132 @@ def measure(setup: ScenarioSetup, engine: EngineConfig | None = None) -> Scenari
     )
 
 
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Serializable descriptor of one measured scenario run (a fleet job).
+
+    Everything a worker process needs to rebuild and measure the run —
+    harness, workload, placement config, THP, seed — in JSON-safe fields.
+    The spec plus the engine tier and code version content-hash into the
+    fleet's cache key (:func:`repro.fleet.jobs.job_key`).
+    """
+
+    harness: str  # "multisocket" | "migration"
+    workload: str
+    config: str
+    thp: bool = False
+    mitosis: bool = False  # migration only: the +M repair
+    fragmentation: float = 0.0  # migration only
+    footprint_mib: int = 64
+    accesses: int = 20_000
+    seed: int = 1234
+    n_sockets: int = 4  # multisocket only
+    kind = "scenario"
+
+    def __post_init__(self) -> None:
+        if self.harness not in ("multisocket", "migration"):
+            raise ValueError(f"unknown harness {self.harness!r}")
+        known = MULTISOCKET_CONFIGS if self.harness == "multisocket" else MIGRATION_CONFIGS
+        if self.config not in known:
+            raise ValueError(
+                f"unknown {self.harness} config {self.config!r}; "
+                f"choose from {', '.join(known)}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "harness": self.harness,
+            "workload": self.workload,
+            "config": self.config,
+            "thp": self.thp,
+            "mitosis": self.mitosis,
+            "fragmentation": self.fragmentation,
+            "footprint_mib": self.footprint_mib,
+            "accesses": self.accesses,
+            "seed": self.seed,
+            "n_sockets": self.n_sockets,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        return cls(
+            harness=data["harness"],
+            workload=data["workload"],
+            config=data["config"],
+            thp=bool(data.get("thp", False)),
+            mitosis=bool(data.get("mitosis", False)),
+            fragmentation=float(data.get("fragmentation", 0.0)),
+            footprint_mib=int(data.get("footprint_mib", 64)),
+            accesses=int(data.get("accesses", 20_000)),
+            seed=int(data.get("seed", 1234)),
+            n_sockets=int(data.get("n_sockets", 4)),
+        )
+
+    def label(self) -> str:
+        return f"scenario:{self.harness}/{self.workload}/{self.config}@seed={self.seed}"
+
+    def reproducer(self) -> str:
+        """One-line command that reruns exactly this cell."""
+        flags = ""
+        if self.mitosis:
+            flags += " --mitosis"
+        if self.thp:
+            flags += " --thp"
+        if self.fragmentation:
+            flags += f" --fragmentation {self.fragmentation:g}"
+        return (
+            f"python -m repro.cli scenario {self.harness} {self.workload} "
+            f"{self.config}{flags} --footprint-mib {self.footprint_mib} "
+            f"--accesses {self.accesses}"
+        )
+
+    def run(self, attempt: int = 1) -> dict:
+        """Execute the cell; returns the JSON-safe measurement payload."""
+        engine = EngineConfig(accesses_per_thread=self.accesses)
+        footprint = self.footprint_mib * MIB
+        if self.harness == "multisocket":
+            result = run_multisocket(
+                self.workload,
+                self.config,
+                thp=self.thp,
+                footprint=footprint,
+                n_sockets=self.n_sockets,
+                engine=engine,
+                seed=self.seed,
+            )
+        else:
+            result = run_migration(
+                self.workload,
+                self.config,
+                mitosis=self.mitosis,
+                thp=self.thp,
+                fragmentation=self.fragmentation,
+                footprint=footprint,
+                engine=engine,
+                seed=self.seed,
+            )
+        return {
+            "schema": "repro-scenario-result/1",
+            "ok": True,
+            "workload": result.workload,
+            "config": result.config,
+            "thp": result.thp,
+            "mitosis": result.mitosis,
+            "runtime_cycles": result.runtime_cycles,
+            "walk_cycle_fraction": result.walk_cycle_fraction,
+            "tlb_miss_rate": result.metrics.tlb_miss_rate,
+            "remote_leaf_fraction": {
+                str(s): f for s, f in sorted(result.remote_leaf_fraction.items())
+            },
+            "thp_failure_rate": result.thp_failure_rate,
+            "pt_bytes_per_node": {
+                str(n): b for n, b in sorted(result.pt_bytes_per_node.items())
+            },
+            "faults_injected": result.metrics.faults_injected,
+        }
+
+
 def run_multisocket(
     workload_name: str,
     config: str,

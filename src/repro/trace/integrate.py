@@ -70,3 +70,34 @@ def publish_chaos_report(session: TraceSession, report) -> None:
         ok=report.ok,
         violations=len(report.verify.violations),
     )
+
+
+def publish_fleet_report(session: TraceSession, report) -> None:
+    """Fold a :class:`~repro.fleet.report.FleetReport` into ``session``.
+
+    Terminal-status counts, supervision counters (retries / timeouts /
+    crashes / errors) and the self-injected fault totals land under
+    ``fleet.``; a ``fleet-verdict`` instant pins the dispatch's outcome
+    on the timeline. The per-job ``fleet.{status}`` live counters are
+    emitted by the dispatcher as each cell settles — this publishes only
+    the end-of-run aggregates.
+    """
+    session.metrics.count("fleet.jobs", float(report.jobs))
+    session.metrics.count("fleet.retries_total", float(report.retries))
+    session.metrics.count("fleet.timeouts", float(report.timeouts))
+    session.metrics.count("fleet.crashes", float(report.crashes))
+    session.metrics.count("fleet.errors", float(report.errors))
+    session.metrics.count(
+        "fleet.injected_faults",
+        float(report.injected_crashes + report.injected_hangs),
+    )
+    session.instant(
+        "fleet-verdict",
+        category="fleet",
+        jobs=report.jobs,
+        cached=report.cached,
+        computed=report.computed,
+        quarantined=report.quarantined,
+        ok=report.ok,
+        interrupted=report.interrupted,
+    )

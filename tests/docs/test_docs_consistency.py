@@ -28,8 +28,8 @@ def cli_subcommands():
 class TestCliDocumented:
     def test_parser_knows_the_expected_commands(self):
         assert set(cli_subcommands()) == {
-            "numactl", "scenario", "dump", "table4", "chaos", "lint", "trace",
-            "perf",
+            "numactl", "scenario", "dump", "table4", "chaos", "fleet", "lint",
+            "trace", "perf",
         }
 
     def test_every_subcommand_appears_in_readme(self, repo_root):
@@ -149,6 +149,46 @@ class TestStaticAnalysisPage:
             "performance.md should name the rule that proves the "
             "generation-bump premise"
         )
+
+
+class TestFleetPage:
+    def test_exists_and_covers_the_contract(self, repo_root):
+        page = (repo_root / "docs" / "fleet.md").read_text()
+        for required in (
+            "fleet campaign",
+            "fleet sweep",
+            "--seeds",
+            "--intensities",
+            "--workers",
+            "--timeout",
+            "--max-attempts",
+            "--cache-dir",
+            "--inject-crash",
+            "--inject-hang",
+            "--trace-dir",
+            "--report",
+            "--json",
+            "repro-fleet-job/1",
+            "repro-fleet-report/1",
+            "fleet.worker.crash",
+            "quarantined",
+            "cached",
+            "computed",
+            "os.replace",
+            "tests/fleet/",
+        ):
+            assert required in page, f"fleet.md lost: {required}"
+
+    def test_cross_linked_from_robustness_and_index(self, repo_root):
+        for name in ("robustness.md", "index.md"):
+            text = (repo_root / "docs" / name).read_text()
+            assert "fleet.md" in text, f"{name} lacks the fleet cross-link"
+
+    def test_chaos_json_and_intensity_flags_documented(self, repo_root):
+        text = (repo_root / "docs" / "robustness.md").read_text()
+        assert "--intensity" in text
+        assert "--json" in text
+        assert "repro-chaos-verdict/1" in text
 
 
 class TestObservabilityPage:

@@ -1,0 +1,174 @@
+"""The chaos-campaign acceptance test (ISSUE: fault-tolerant fleet).
+
+One module-scoped campaign of 200+ (scenario, seed, intensity) cells runs
+with injected worker crashes and hangs; the tests then assert the ISSUE's
+acceptance criteria against it: every cell terminal, quarantined cells
+carry reproducers, interrupt + re-invocation resumes from the checkpoint
+without recomputing, and a deliberately corrupted cache entry is detected
+and re-run.
+"""
+
+import pytest
+
+from repro.fleet import (
+    Fleet,
+    FleetConfig,
+    ResultCache,
+    STATUS_QUARANTINED,
+    TERMINAL_STATUSES,
+    chaos_grid,
+    job_key,
+)
+from repro.inject import FaultPlan
+from repro.sim.chaos import SCENARIOS
+
+#: 3 scenarios x 23 seeds x 3 intensities = 207 cells (>= 200 required).
+SEEDS = range(23)
+INTENSITIES = (0.5, 1.0, 2.0)
+#: One cell the campaign's plan *always* crashes: deterministic quarantine.
+POISONED_LABEL = "chaos:replication-oom@seed=0,x1"
+
+
+def campaign_plan() -> FaultPlan:
+    plan = FaultPlan(seed=99)
+    plan.worker_crash(
+        predicate=lambda ctx: ctx.get("label") == POISONED_LABEL
+    )
+    plan.worker_crash(probability=0.10)
+    plan.worker_crash(hang=True, every=17)
+    return plan
+
+
+def campaign_config(plan=None, **overrides) -> FleetConfig:
+    defaults = dict(
+        workers=0, max_attempts=3, backoff_base=0.0, backoff_cap=0.0,
+        fault_plan=plan,
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """Run the full 207-cell campaign once; everything asserts against it."""
+    cache_dir = tmp_path_factory.mktemp("campaign-cache")
+    specs = chaos_grid(seeds=SEEDS, intensities=INTENSITIES)
+    fleet = Fleet(campaign_config(plan=campaign_plan()), ResultCache(cache_dir))
+    report = fleet.run(specs)
+    return specs, fleet, report, cache_dir
+
+
+class TestCampaignScale:
+    def test_grid_is_at_least_200_cells(self, campaign):
+        specs, _, report, _ = campaign
+        assert len(specs) == len(SCENARIOS) * 23 * 3 == 207
+        assert report.jobs == 207
+
+    def test_every_cell_reaches_a_terminal_state(self, campaign):
+        _, _, report, _ = campaign
+        assert all(o.status in TERMINAL_STATUSES for o in report.outcomes)
+
+    def test_worker_faults_were_actually_injected(self, campaign):
+        _, _, report, _ = campaign
+        assert report.injected_crashes > 0
+        assert report.injected_hangs > 0
+        assert report.crashes >= report.injected_crashes
+        assert report.timeouts >= report.injected_hangs
+        assert report.retries > 0
+
+    def test_poisoned_cell_is_quarantined_with_reproducer(self, campaign):
+        _, _, report, _ = campaign
+        poisoned = [o for o in report.outcomes if o.label == POISONED_LABEL]
+        assert len(poisoned) == 1
+        (outcome,) = poisoned
+        assert outcome.status == STATUS_QUARANTINED
+        assert outcome.attempts == 3
+        assert "--scenario replication-oom" in outcome.reproducer
+        assert "--seed 0" in outcome.reproducer
+
+    def test_every_quarantined_cell_has_a_reproducer(self, campaign):
+        _, _, report, _ = campaign
+        quarantined = [
+            o for o in report.outcomes if o.status == STATUS_QUARANTINED
+        ]
+        assert quarantined  # at least the poisoned cell
+        assert all(o.reproducer for o in quarantined)
+        assert all(len(o.failures) == 3 for o in quarantined)
+
+    def test_chaos_summary_aggregates_verdicts_and_stats(self, campaign):
+        _, _, report, _ = campaign
+        summary = report.chaos_summary()
+        assert summary["cells"] == 207
+        assert summary["faults_injected"] > 0
+        assert summary["recoveries"] > 0
+        labels = {cell["label"] for cell in summary["failed_cells"]}
+        assert POISONED_LABEL in labels
+        for cell in summary["failed_cells"]:
+            assert cell["reproducer"].startswith("python -m repro.cli chaos")
+
+
+class TestCampaignResume:
+    def test_clean_rerun_is_all_cache_hits_except_quarantined(self, campaign):
+        specs, first_fleet, first_report, cache_dir = campaign
+        fleet = Fleet(campaign_config(), ResultCache(cache_dir))
+        report = fleet.run(specs)
+        # Quarantined cells were never cached, so they (and only they)
+        # recompute — without injection this time, they all succeed.
+        assert report.cached == first_report.computed
+        assert report.computed == first_report.quarantined
+        assert report.ok
+
+    def test_interrupt_then_resume_recomputes_nothing(self, tmp_path):
+        specs = chaos_grid(seeds=range(4), intensities=(1.0,))  # 12 cells
+
+        def interrupt_after(n):
+            def progress(report, outcome):
+                if len(report.outcomes) >= n:
+                    raise KeyboardInterrupt
+            return progress
+
+        cache = ResultCache(tmp_path / "cache")
+        partial = Fleet(campaign_config(), cache).run(
+            specs, progress=interrupt_after(5)
+        )
+        assert partial.interrupted
+        assert partial.jobs == 5
+        assert cache.stats.stores == 5
+
+        resumed_cache = ResultCache(tmp_path / "cache")
+        resumed = Fleet(campaign_config(), resumed_cache).run(specs)
+        assert not resumed.interrupted
+        assert resumed.jobs == 12
+        assert resumed.cached == 5  # the checkpointed prefix
+        assert resumed.computed == 7
+        assert resumed_cache.stats.stores == 7  # nothing recomputed
+
+    def test_corrupted_entry_is_evicted_and_rerun(self, campaign):
+        specs, fleet, _, cache_dir = campaign
+        victim = next(s for s in specs if s.label() != POISONED_LABEL)
+        cache = ResultCache(cache_dir)
+        path = cache.path_for(job_key(victim))
+        assert path.exists()
+        original = path.read_text()
+        try:
+            path.write_text(original[: len(original) // 2])  # torn write
+            report = Fleet(campaign_config(), cache).run(specs)
+            assert cache.stats.corrupt_evicted == 1
+            victim_outcome = next(
+                o for o in report.outcomes if o.label == victim.label()
+            )
+            assert victim_outcome.status == "computed"  # re-run, not served
+            assert cache.get(job_key(victim)) is not None  # healed on disk
+        finally:
+            if not path.exists():
+                path.write_text(original)
+
+
+class TestCampaignDeterminism:
+    def test_cached_payloads_match_a_fresh_computation(self, campaign):
+        """A cached chaos verdict is bit-identical to recomputing the
+        cell — the property that makes serving from cache sound."""
+        specs, fleet, report, _ = campaign
+        spec = next(s for s in specs if s.label() != POISONED_LABEL)
+        cached = fleet.cache.get(job_key(spec))
+        assert cached == spec.run(attempt=1)

@@ -1,0 +1,129 @@
+"""Job specs: serialization round-trips, content-addressed keys, grids."""
+
+import json
+
+import pytest
+
+from repro.fleet.jobs import (
+    ProbeSpec,
+    SPEC_KINDS,
+    canonical_json,
+    chaos_grid,
+    job_key,
+    scenario_grid,
+    spec_from_dict,
+)
+from repro.sim.bench import BenchSpec
+from repro.sim.chaos import SCENARIOS as CHAOS_SCENARIOS
+from repro.sim.chaos import ChaosSpec
+from repro.sim.scenario import ScenarioSpec
+
+
+class TestSpecRoundTrips:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ScenarioSpec(harness="multisocket", workload="gups", config="F+M"),
+            ScenarioSpec(
+                harness="migration", workload="btree", config="RPI-LD",
+                mitosis=True, thp=True, seed=9, accesses=5_000,
+            ),
+            ChaosSpec(scenario="replication-oom", seed=3, intensity=2.0),
+            BenchSpec(scenario="gups-4socket", accesses=2_000, repeat=2),
+            ProbeSpec(behavior="flaky", succeed_after=3, value=17),
+        ],
+        ids=lambda s: s.kind,
+    )
+    def test_to_dict_from_dict_round_trip(self, spec):
+        data = spec.to_dict()
+        assert data["kind"] == spec.kind
+        rebuilt = spec_from_dict(data)
+        assert rebuilt == spec
+        # and through an actual JSON string (the pipe / cache format)
+        assert spec_from_dict(json.dumps(data)) == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            spec_from_dict({"kind": "no-such-kind"})
+
+    def test_every_registered_kind_satisfies_the_protocol(self):
+        for kind, cls in SPEC_KINDS.items():
+            assert cls.kind == kind
+            for method in ("to_dict", "from_dict", "label", "reproducer", "run"):
+                assert callable(getattr(cls, method)), f"{kind} lacks {method}"
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(harness="nonsense", workload="gups", config="F+M")
+        with pytest.raises(ValueError):
+            ScenarioSpec(harness="multisocket", workload="gups", config="RPI-LD")
+        with pytest.raises(ValueError):
+            ChaosSpec(scenario="no-such-scenario")
+        with pytest.raises(ValueError):
+            ChaosSpec(scenario="replication-oom", intensity=0.0)
+        with pytest.raises(ValueError):
+            ProbeSpec(behavior="explode")
+
+
+class TestJobKey:
+    def test_key_is_stable_across_instances(self):
+        a = ChaosSpec(scenario="replication-oom", seed=5)
+        b = ChaosSpec(scenario="replication-oom", seed=5)
+        assert job_key(a) == job_key(b)
+
+    def test_key_depends_on_every_spec_field(self):
+        base = job_key(ChaosSpec(scenario="replication-oom", seed=5))
+        assert job_key(ChaosSpec(scenario="replication-oom", seed=6)) != base
+        assert job_key(ChaosSpec(scenario="shootdown-storm", seed=5)) != base
+        assert (
+            job_key(ChaosSpec(scenario="replication-oom", seed=5, intensity=2.0))
+            != base
+        )
+
+    def test_key_depends_on_engine_and_code_version(self):
+        spec = ProbeSpec(value=1)
+        assert job_key(spec, engine="scalar") != job_key(spec, engine="vector")
+        assert job_key(spec, code_version="0.0.0") != job_key(spec)
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+
+class TestGrids:
+    def test_chaos_grid_covers_the_product(self):
+        cells = chaos_grid(seeds=range(3), intensities=(0.5, 1.0))
+        assert len(cells) == len(CHAOS_SCENARIOS) * 3 * 2
+        assert len({job_key(c) for c in cells}) == len(cells)
+
+    def test_scenario_grid_covers_the_product(self):
+        cells = scenario_grid(
+            "multisocket", ["gups", "btree"], ["F+M", "I+M"], seeds=(1, 2)
+        )
+        assert len(cells) == 2 * 2 * 2
+        assert all(isinstance(c, ScenarioSpec) for c in cells)
+
+
+class TestReproducers:
+    def test_chaos_reproducer_replays_the_cell(self):
+        spec = ChaosSpec(scenario="swap-stall", seed=9, intensity=0.5)
+        line = spec.reproducer()
+        assert "chaos" in line and "--scenario swap-stall" in line
+        assert "--seed 9" in line and "--intensity 0.5" in line
+
+    def test_scenario_reproducer_names_the_config(self):
+        spec = ScenarioSpec(harness="migration", workload="gups", config="RPI-LD")
+        line = spec.reproducer()
+        assert "scenario migration gups RPI-LD" in line
+
+
+class TestProbe:
+    def test_ok_and_flaky_behaviors(self):
+        assert ProbeSpec(value=3).run(attempt=1)["value"] == 3
+        flaky = ProbeSpec(behavior="flaky", succeed_after=2)
+        with pytest.raises(RuntimeError):
+            flaky.run(attempt=1)
+        assert flaky.run(attempt=2)["ok"] is True
+
+    def test_fail_always_raises(self):
+        with pytest.raises(RuntimeError):
+            ProbeSpec(behavior="fail").run(attempt=99)

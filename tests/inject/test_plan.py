@@ -9,6 +9,7 @@ from repro.inject import (
     SITE_ALLOCATOR_OOM,
     SITE_PAGECACHE_REFILL,
     SITE_SHOOTDOWN_DROP,
+    SITE_WORKER_CRASH,
     install_fault_plan,
     uninstall_fault_plan,
 )
@@ -59,6 +60,54 @@ class TestTriggers:
         assert sequence(7) == sequence(7)
         assert sequence(7) != sequence(8)
         assert any(sequence(7)) and not all(sequence(7))
+
+    def test_limit_with_every_heals_mid_stride(self):
+        """``limit`` caps an ``every`` rule without breaking its stride:
+        fires on exactly the first ``limit`` multiples, then never again,
+        while ``calls`` keeps advancing past exhaustion."""
+        plan = FaultPlan()
+        rule = plan.oom_on_node(0, every=3, limit=2)
+        fired = [
+            plan.fire(SITE_ALLOCATOR_OOM, node=0) is not None for _ in range(12)
+        ]
+        assert fired == [
+            False, False, True,   # call 3: first multiple
+            False, False, True,   # call 6: second multiple -> limit reached
+            False, False, False,  # call 9 would match, but the rule healed
+            False, False, False,
+        ]
+        assert rule.exhausted
+        assert rule.calls == 12  # exhausted rules still observe every call
+        assert rule.fired == 2
+
+    def test_limit_with_on_calls_drops_later_marks(self):
+        """``limit`` + ``on_calls``: only the first ``limit`` marked calls
+        fire; later marks fall inside the healed window."""
+        plan = FaultPlan()
+        rule = plan.oom_on_node(0, on_calls={2, 4, 6}, limit=2)
+        fired = [
+            plan.fire(SITE_ALLOCATOR_OOM, node=0) is not None for _ in range(8)
+        ]
+        assert fired == [False, True, False, True, False, False, False, False]
+        assert rule.exhausted and rule.fired == 2
+
+    def test_exhausted_rule_hands_calls_to_later_rule(self):
+        """Once a limited rule heals, the scan falls through to later
+        same-site rules — whose own call counters started later, pinning
+        the exact combined fire sequence."""
+        plan = FaultPlan()
+        first = plan.oom_on_node(0, every=2, limit=1)
+        second = plan.oom_on_node(0, every=2)
+        fired = []
+        for _ in range(5):
+            rule = plan.fire(SITE_ALLOCATOR_OOM, node=0)
+            fired.append(rule if rule is None else (rule is first, rule is second))
+        # call 1: neither stride hit; call 2: first fires and heals;
+        # call 3: falls through, second's 2nd matching call -> fires;
+        # call 4: second's 3rd call, off-stride; call 5: second's 4th -> fires.
+        assert fired == [None, (True, False), (False, True), None, (False, True)]
+        assert (first.calls, first.fired) == (5, 1)
+        assert (second.calls, second.fired) == (4, 2)
 
 
 class TestFilters:
@@ -143,7 +192,16 @@ class TestPlanBookkeeping:
         plan.shootdown_delay(multiplier=4.0)
         plan.drop_acks()
         plan.swap_stall()
+        plan.worker_crash()
         assert {rule.site for rule in plan.rules} == set(ALL_SITES)
+
+    def test_worker_crash_hang_encodes_as_delay_multiplier(self):
+        plan = FaultPlan()
+        crash = plan.worker_crash()
+        hang = plan.worker_crash(hang=True)
+        assert crash.site == hang.site == SITE_WORKER_CRASH
+        assert crash.delay_multiplier == 1.0
+        assert hang.delay_multiplier > 1.0
 
 
 class TestInstallation:

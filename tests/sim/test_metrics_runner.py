@@ -80,3 +80,19 @@ class TestNormalize:
         bars = normalize(results, baseline="F")
         text = render_figure("Fig 9a", {"canneal": bars})
         assert "Fig 9a" in text and "canneal" in text and "F" in text
+
+    def test_zero_speedup_still_renders_its_annotation(self):
+        """A legitimate 0.00x speedup is data, not absence: only a missing
+        pair (None) drops the annotation."""
+        from repro.sim.runner import Bar
+
+        zero = Bar(
+            workload="gups", config="F+M", normalized_runtime=1.0,
+            walk_fraction=0.1, speedup_vs_pair=0.0,
+        )
+        assert "(0.00x)" in zero.render()
+        missing = Bar(
+            workload="gups", config="F", normalized_runtime=1.0,
+            walk_fraction=0.1, speedup_vs_pair=None,
+        )
+        assert "x)" not in missing.render()

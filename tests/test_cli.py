@@ -136,6 +136,129 @@ class TestChaos:
         assert "PTE sanitizer:" in out
         assert "0 bypass(es)" in out
 
+    def test_json_flag_prints_structured_verdict(self, capsys):
+        import json
+
+        code, out, _ = run(capsys, "chaos", "--seed", "7", "--json")
+        assert code == 0
+        verdict = json.loads(out)
+        assert verdict["schema"] == "repro-chaos-verdict/1"
+        assert verdict["scenario"] == "replication-oom"
+        assert verdict["seed"] == 7
+        assert verdict["ok"] is True
+        assert verdict["verify"]["ok"] is True
+        assert verdict["faults_injected"] > 0
+        assert verdict["recoveries"] >= 1
+        assert isinstance(verdict["faults_by_site"], dict)
+
+    def test_json_verdict_is_seed_deterministic(self, capsys):
+        _, first, _ = run(capsys, "chaos", "--seed", "21", "--json")
+        _, second, _ = run(capsys, "chaos", "--seed", "21", "--json")
+        assert first == second
+
+    def test_intensity_scales_the_fault_plan(self, capsys):
+        import json
+
+        def verdict(intensity):
+            _, out, _ = run(
+                capsys, "chaos", "--scenario", "shootdown-storm", "--seed", "11",
+                "--intensity", intensity, "--json",
+            )
+            return json.loads(out)
+
+        gentle, hostile = verdict("0.25"), verdict("4.0")
+        assert gentle["intensity"] == 0.25 and hostile["intensity"] == 4.0
+        assert hostile["faults_injected"] > gentle["faults_injected"]
+
+
+class TestFleet:
+    def test_campaign_inline_and_resume(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "fleet", "campaign", "--scenarios", "replication-oom",
+            "--seeds", "0-2", "--workers", "0", "--cache-dir", cache_dir,
+        ]
+        code, out, _ = run(capsys, *argv)
+        assert code == 0
+        assert "3 job(s)" in out and "3 computed" in out
+
+        code, out, _ = run(capsys, *argv)  # resume: all hits
+        assert code == 0
+        assert "3 cached" in out and "0 computed" in out
+
+    def test_campaign_json_report(self, capsys, tmp_path):
+        import json
+
+        code, out, _ = run(
+            capsys, "fleet", "campaign", "--scenarios", "swap-stall",
+            "--seeds", "5", "--workers", "0",
+            "--cache-dir", str(tmp_path / "cache"), "--json",
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["schema"] == "repro-fleet-report/1"
+        assert report["jobs"] == 1 and report["computed"] == 1
+        assert report["chaos"]["cells"] == 1
+        assert report["outcomes"][0]["payload"]["scenario"] == "swap-stall"
+
+    def test_report_file_written(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "fleet.json"
+        code, _, err = run(
+            capsys, "fleet", "campaign", "--scenarios", "swap-stall",
+            "--seeds", "1", "--workers", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--report", str(report_path),
+        )
+        assert code == 0
+        assert "report written to" in err
+        assert json.loads(report_path.read_text())["jobs"] == 1
+
+    def test_injected_crashes_exercise_quarantine_exit_code(self, capsys, tmp_path):
+        code, out, _ = run(
+            capsys, "fleet", "campaign", "--scenarios", "replication-oom",
+            "--seeds", "0", "--workers", "0", "--max-attempts", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--inject-crash", "1.0",
+        )
+        assert code == 1  # the only cell is quarantined
+        assert "1 quarantined" in out
+        assert "reproduce: python -m repro.cli chaos" in out
+
+    def test_sweep_mode_runs_scenario_cells(self, capsys, tmp_path):
+        code, out, _ = run(
+            capsys, "fleet", "sweep", "--workloads", "gups",
+            "--configs", "F,F+M", "--seeds", "1234", "--workers", "0",
+            "--accesses", "2000", "--footprint-mib", "16",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert code == 0
+        assert "2 job(s)" in out and "2 computed" in out
+
+    def test_bad_seed_list_rejected(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys, "fleet", "campaign", "--seeds", "banana",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert code == 2
+        assert "error" in err
+
+    def test_traced_fleet_exports_fleet_spans(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code, _, _ = run(
+            capsys, "trace", "--out", str(out_path),
+            "fleet", "campaign", "--scenarios", "replication-oom",
+            "--seeds", "3", "--workers", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert code == 0
+        names = [e["name"] for e in json.loads(out_path.read_text())["traceEvents"]]
+        assert "fleet.run" in names
+        assert "fleet-verdict" in names
+
 
 class TestTrace:
     def test_traced_chaos_exports_chrome_json(self, capsys, tmp_path):

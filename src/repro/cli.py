@@ -211,7 +211,29 @@ def _add_lint_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--whole-program", action="store_true",
         help="also build the project call graph and run the cross-module "
-        "protocol rules (TLBGEN001/TLBGEN002, SHOOT001, PROV001, SPAN001)",
+        "protocol rules (TLBGEN001/TLBGEN002, SHOOT001, PROV001, SPAN001) "
+        "and the interprocedural dataflow rules (DETFLOW001/DETFLOW002, "
+        "RES001/RES002)",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print the full rationale for one rule (what it flags, which "
+        "wrappers are sanctioned, how to suppress) and exit",
+    )
+    parser.add_argument(
+        "--stats", default=None, metavar="FILE",
+        help="write dataflow-engine statistics (modules analyzed, summary "
+        "cache hits/misses) to FILE as JSON",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental dataflow summary cache (re-extract "
+        "every module)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="dataflow summary cache directory (default: $REPRO_LINT_CACHE_DIR "
+        "or .lint-cache at the repo root)",
     )
     parser.add_argument(
         "--baseline", default=None,
@@ -501,15 +523,39 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _explain_rule(name: str) -> int:
+    """``repro lint --explain RULE``: print one rule's full rationale —
+    description, docstring (what it flags, sanctioned wrappers, how to
+    suppress) — sourced from the rule class itself."""
+    import inspect
+
+    from repro.lint.core import RULE_REGISTRY, WHOLE_PROGRAM_REGISTRY
+
+    cls = RULE_REGISTRY.get(name) or WHOLE_PROGRAM_REGISTRY.get(name)
+    if cls is None:
+        known = ", ".join(sorted(set(RULE_REGISTRY) | set(WHOLE_PROGRAM_REGISTRY)))
+        print(f"unknown rule {name!r} (known: {known})", file=sys.stderr)
+        return 2
+    scope = "whole-program" if name in WHOLE_PROGRAM_REGISTRY else "per-file"
+    print(f"{name} ({scope}): {cls.description}")
+    doc = inspect.getdoc(cls)
+    if doc:
+        print()
+        print(doc)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: run the static analyzer (PV-Ops, determinism,
     fault-site and suppression-hygiene rules — plus, with
-    ``--whole-program``, the call-graph/CFG protocol rules) over the
-    given paths; exits 1 when there are findings not covered by the
-    baseline."""
+    ``--whole-program``, the call-graph/CFG protocol rules and the
+    interprocedural dataflow rules) over the given paths; exits 1 when
+    there are findings not covered by the baseline."""
+    import json as _json
     from pathlib import Path
 
     from repro.lint import (
+        default_cache_dir,
         filter_baseline,
         lint_paths,
         load_baseline,
@@ -520,6 +566,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
     from repro.lint.baseline import default_baseline_path
 
+    if args.explain:
+        return _explain_rule(args.explain)
+
     if args.paths:
         paths = [Path(p) for p in args.paths]
     else:
@@ -527,11 +576,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
         paths = [Path(repro.__file__).resolve().parent]
     rules = [r.strip() for r in args.rules.split(",")] if args.rules else None
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir:
+        cache_dir = Path(args.cache_dir)
+    else:
+        cache_dir = default_cache_dir()
     try:
-        result = lint_paths(paths, rules=rules, whole_program=args.whole_program)
+        result = lint_paths(
+            paths,
+            rules=rules,
+            whole_program=args.whole_program,
+            dataflow_cache_dir=cache_dir,
+        )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+
+    if args.stats:
+        Path(args.stats).write_text(
+            _json.dumps(result.dataflow_stats or {}, indent=2, sort_keys=True)
+        )
 
     baseline_path = Path(args.baseline) if args.baseline else default_baseline_path()
     if args.write_baseline:

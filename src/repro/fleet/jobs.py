@@ -155,6 +155,7 @@ def canonical_json(obj) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
+# dataflow: sink[determinism] -- the cache key must replay bit-identically across runs and hosts
 def job_key(
     spec: JobSpecLike, engine: str = "vector", code_version: str = __version__
 ) -> str:

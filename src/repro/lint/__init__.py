@@ -13,9 +13,13 @@ This package is that tooling, in two halves:
   rules (``TLBGEN001``/``TLBGEN002``, ``SHOOT001``, ``PROV001``,
   ``SPAN001``) that combine a project call graph
   (:mod:`repro.lint.callgraph`) with per-function CFG reachability
-  (:mod:`repro.lint.flow`); run via ``python -m repro.cli lint``
-  (``--whole-program`` for the cross-module pass) and gated in CI
-  against a committed baseline (:mod:`repro.lint.baseline`);
+  (:mod:`repro.lint.flow`), and interprocedural dataflow rules
+  (``DETFLOW001``/``DETFLOW002`` determinism taint, ``RES001``/``RES002``
+  resource lifecycles) solved by :mod:`repro.lint.dataflow` with an
+  incremental, content-hash-keyed summary cache; run via
+  ``python -m repro.cli lint`` (``--whole-program`` for the cross-module
+  pass) and gated in CI against a committed baseline
+  (:mod:`repro.lint.baseline`);
 * **dynamic**: :class:`repro.lint.sanitizer.PTESanitizer`, a debug-mode
   guard around :class:`~repro.paging.pagetable.PageTablePage` entries
   that records writer provenance and raises on any store that does not
@@ -47,6 +51,12 @@ from repro.lint.core import (
     rule_names,
     whole_program_rule_names,
 )
+from repro.lint.dataflow import (
+    ProjectDataflow,
+    SummaryCache,
+    default_cache_dir,
+    get_dataflow,
+)
 from repro.lint.report import render_json, render_sarif, render_text
 
 __all__ = [
@@ -55,10 +65,14 @@ __all__ = [
     "Finding",
     "LintResult",
     "ParsedModule",
+    "ProjectDataflow",
     "Rule",
+    "SummaryCache",
     "WholeProgramRule",
     "clear_parse_cache",
+    "default_cache_dir",
     "filter_baseline",
+    "get_dataflow",
     "iter_python_files",
     "lint_paths",
     "lint_source",

@@ -33,6 +33,15 @@ Verbs: ``mutates[k]`` (this function must settle ``k`` on every
 non-exception path), ``begins[k]``/``defers[k]`` (every *call site*
 acquires the obligation), ``settles[k]``/``ends[k]`` (calling this is a
 sink that discharges the obligation).
+
+The dataflow layer (:mod:`repro.lint.dataflow`) reuses the same grammar
+under the ``# dataflow:`` prefix with three role verbs:
+``source[nondet]`` (calling this yields a nondeterministic value),
+``sink[determinism]`` (values flowing into this call or out of its
+return must be deterministic), and ``sanitizes[nondet]`` (a sanctioned
+wrapper — e.g. the virtual clock — whose result is deterministic by
+contract even though it smells like time). Both prefixes parse into the
+same :class:`Marker` records.
 """
 
 from __future__ import annotations
@@ -45,7 +54,8 @@ from repro.lint.core import ParsedModule
 from repro.lint.flow import executed_exprs, iter_statements
 
 _MARKER_RE = re.compile(
-    r"#\s*protocol:\s*(?P<verb>mutates|begins|defers|settles|ends)"
+    r"#\s*(?:protocol|dataflow):\s*"
+    r"(?P<verb>mutates|begins|defers|settles|ends|source|sink|sanitizes)"
     r"\[(?P<keys>[A-Za-z0-9_\-,\s]+)\]"
     r"(?:\s*--\s*(?P<why>\S.*))?"
 )
@@ -66,7 +76,7 @@ _DICT_HEADS = frozenset({"dict", "Dict", "Mapping", "MutableMapping"})
 class Marker:
     """One parsed ``# protocol:`` annotation on a function."""
 
-    verb: str  # mutates | begins | defers | settles | ends
+    verb: str  # mutates | begins | defers | settles | ends | source | sink | sanitizes
     key: str
     lineno: int
 

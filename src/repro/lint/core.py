@@ -80,6 +80,10 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     rules_run: tuple[str, ...] = ()
+    #: Incremental-analysis cache stats from the dataflow layer
+    #: (modules, functions, summary_hits, summary_misses, cache_dir);
+    #: ``None`` when no dataflow rule ran.
+    dataflow_stats: dict | None = None
 
     def extend(self, other: "LintResult") -> None:
         self.findings.extend(other.findings)
@@ -485,12 +489,18 @@ def lint_paths(
     rules: Iterable[str] | None = None,
     *,
     whole_program: bool = False,
+    dataflow_cache_dir: Path | str | None = None,
 ) -> LintResult:
     """Lint every python file under ``paths``.
 
     ``whole_program=True`` additionally builds the project index over all
     files and runs every whole-program rule; explicitly naming a
     whole-program rule in ``rules`` opts in for that rule alone.
+
+    ``dataflow_cache_dir`` enables the dataflow layer's incremental
+    summary cache (per-module IR keyed by content hash — see
+    :mod:`repro.lint.dataflow`). ``None`` analyzes in memory only; the
+    CLI passes :func:`repro.lint.dataflow.default_cache_dir` by default.
     """
     per_file_selected, whole_selected = split_rule_names(rules)
     if whole_selected is None:
@@ -520,10 +530,15 @@ def lint_paths(
         from repro.lint.callgraph import build_index
 
         index = build_index(parsed_modules)
+        if dataflow_cache_dir is not None:
+            index.dataflow_cache_dir = Path(dataflow_cache_dir)  # type: ignore[attr-defined]
         by_path: dict[str, list[Finding]] = {}
         for name in whole_selected:
             for finding in WHOLE_PROGRAM_REGISTRY[name]().run(index):
                 by_path.setdefault(finding.path, []).append(finding)
+        analysis = getattr(index, "_dataflow", None)
+        if analysis is not None:
+            result.dataflow_stats = dict(analysis.stats)
         for path, findings in by_path.items():
             parsed_for_path = index.modules_by_path.get(path)
             lines = parsed_for_path.source_lines if parsed_for_path else []
@@ -538,6 +553,7 @@ def lint_paths(
 
 # Built-in rules register themselves on import; placed last so the rule
 # modules can import the framework above without a cycle.
+from repro.lint import dataflow  # noqa: E402,F401
 from repro.lint import rules_determinism  # noqa: E402,F401
 from repro.lint import rules_fault  # noqa: E402,F401
 from repro.lint import rules_protocol  # noqa: E402,F401

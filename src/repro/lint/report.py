@@ -54,32 +54,31 @@ def render_json(result: LintResult, new_findings: list[Finding] | None = None) -
     """Versioned JSON document; ``new`` marks findings not in the baseline."""
     findings = result.findings if new_findings is None else new_findings
     new_keys = {id(f) for f in findings}
-    return json.dumps(
-        {
-            "version": JSON_SCHEMA_VERSION,
-            "files_checked": result.files_checked,
-            "rules_run": list(result.rules_run),
-            "findings": [
-                {
-                    "rule": f.rule,
-                    "path": f.path,
-                    "line": f.line,
-                    "col": f.col,
-                    "message": f.message,
-                    "context": f.context,
-                    "new": id(f) in new_keys,
-                }
-                for f in result.findings
-            ],
-            "summary": {
-                "total": len(result.findings),
-                "new": len(findings),
-                "baselined": len(result.findings) - len(findings),
-            },
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "context": f.context,
+                "new": id(f) in new_keys,
+            }
+            for f in result.findings
+        ],
+        "summary": {
+            "total": len(result.findings),
+            "new": len(findings),
+            "baselined": len(result.findings) - len(findings),
         },
-        indent=2,
-        sort_keys=False,
-    )
+    }
+    if result.dataflow_stats is not None:
+        document["dataflow"] = result.dataflow_stats
+    return json.dumps(document, indent=2, sort_keys=False)
 
 
 def _rule_description(rule: str) -> str:

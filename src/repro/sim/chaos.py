@@ -89,6 +89,7 @@ class ChaosSpec:
         if self.intensity <= 0:
             raise ValueError("intensity must be positive")
 
+    # dataflow: sink[determinism] -- the spec dict feeds job_key
     def to_dict(self) -> dict:
         return {
             "kind": self.kind,
@@ -115,6 +116,7 @@ class ChaosSpec:
             f"--seed {self.seed} --intensity {self.intensity:g} --json"
         )
 
+    # dataflow: sink[determinism] -- cached verdict payload: same key, same bytes
     def run(self, attempt: int = 1) -> dict:
         """Execute the cell; returns the JSON-safe verdict payload."""
         report = run_chaos(self.scenario, seed=self.seed, intensity=self.intensity)
@@ -142,6 +144,7 @@ class ChaosReport:
     def ok(self) -> bool:
         return self.verify.ok
 
+    # dataflow: sink[determinism] -- replayed verdict: a pure function of (scenario, seed, intensity)
     def to_dict(self) -> dict:
         """Structured verdict (``chaos --json``): everything a machine
         consumer — the fleet, CI — needs without scraping text."""

@@ -330,6 +330,7 @@ class ScenarioSpec:
                 f"choose from {', '.join(known)}"
             )
 
+    # dataflow: sink[determinism] -- the spec dict feeds job_key
     def to_dict(self) -> dict:
         return {
             "kind": self.kind,
@@ -378,6 +379,7 @@ class ScenarioSpec:
             f"--accesses {self.accesses}"
         )
 
+    # dataflow: sink[determinism] -- cached measurement payload: same key, same bytes
     def run(self, attempt: int = 1) -> dict:
         """Execute the cell; returns the JSON-safe measurement payload."""
         engine = EngineConfig(accesses_per_thread=self.accesses)

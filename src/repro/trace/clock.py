@@ -27,16 +27,19 @@ class TraceClock:
     def __init__(self) -> None:
         self._now = 0.0
 
+    # dataflow: sanitizes[nondet] -- virtual time: a pure function of the event sequence
     @property
     def now(self) -> float:
         """Current virtual timestamp."""
         return self._now
 
+    # dataflow: sanitizes[nondet] -- virtual time: a pure function of the event sequence
     def tick(self) -> float:
         """Advance by one unit and return the *new* timestamp."""
         self._now += 1.0
         return self._now
 
+    # dataflow: sanitizes[nondet] -- virtual time: a pure function of the event sequence
     def advance(self, cycles: float) -> float:
         """Advance by ``cycles`` (negative deltas are ignored) and return
         the new timestamp."""

@@ -144,6 +144,7 @@ class TraceSession:
 
     # -- core recording -------------------------------------------------------
 
+    # dataflow: sink[determinism] -- two traces of the same seeded run must be bit-identical
     def _record(self, event: TraceEvent) -> None:
         if len(self.events) == self.capacity:
             self.dropped += 1

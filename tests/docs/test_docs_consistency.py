@@ -128,6 +128,15 @@ class TestStaticAnalysisPage:
             "SHOOT001",
             "PROV001",
             "SPAN001",
+            "# dataflow:",
+            "sink[determinism]",
+            "sanitizes[nondet]",
+            "--explain",
+            "--stats",
+            "--no-cache",
+            "--cache-dir",
+            "REPRO_LINT_CACHE_DIR",
+            ".lint-cache",
         ):
             assert required in page, f"static-analysis.md lost: {required}"
 

@@ -1,0 +1,30 @@
+"""Seeded DETFLOW002 violation: set-iteration order reaches a payload sink.
+
+``sample_broken`` folds a set's iteration order into a list and ships it
+in a recorded payload — the order varies with ``PYTHONHASHSEED``, so two
+runs of the same seed replay differently. The syntactic DET002 rule is
+deliberately suppressed at the loop so this fixture isolates the *flow*
+half of the proof: the taint survives the fold and is caught at the
+sink. ``sample_ok`` is the correct twin — ``sorted(...)`` kills the
+order taint before the fold.
+"""
+
+
+# dataflow: sink[determinism] -- replayed payload: same seed, same bytes
+def record_sample(payload: dict) -> dict:
+    return payload
+
+
+def sample_broken(names: list) -> dict:
+    order = []
+    # lint: allow[DET002] -- fixture: the flow rule must catch this leak on its own
+    for name in set(names):
+        order.append(name)  # BUG: bakes hash order into the payload
+    return record_sample({"names": order})
+
+
+def sample_ok(names: list) -> dict:
+    order = []
+    for name in sorted(set(names)):
+        order.append(name)
+    return record_sample({"names": order})

@@ -1,0 +1,36 @@
+"""Seeded DETFLOW001 violation: a process-identity value taints a job key.
+
+``keyed_submit`` folds ``os.getpid()`` into the payload it hashes into
+the content-addressed job key — the per-file DET001 rule does not ban
+``getpid`` (it is deterministic *within* a run), but a pid in the key
+re-keys every cell on every run, which is exactly the cache-poisoning
+flow DETFLOW001 exists to prove absent. ``keyed_submit_ok`` is the
+correct twin: it stamps the payload from a sanctioned virtual-clock
+wrapper instead.
+"""
+
+import hashlib
+import json
+import os
+
+
+# dataflow: sink[determinism] -- the key must replay bit-identically across runs
+def job_key(payload: dict) -> str:
+    material = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+# dataflow: sanitizes[nondet] -- virtual time: a pure function of the tick count
+def virtual_now(ticks: int) -> float:
+    return float(ticks)
+
+
+def keyed_submit(spec: dict) -> str:
+    stamp = os.getpid()  # BUG: process identity re-keys the cell every run
+    payload = {"spec": spec, "stamp": stamp}
+    return job_key(payload)
+
+
+def keyed_submit_ok(spec: dict, ticks: int) -> str:
+    payload = {"spec": spec, "stamp": virtual_now(ticks)}
+    return job_key(payload)

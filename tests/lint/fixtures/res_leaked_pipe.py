@@ -1,0 +1,34 @@
+"""Seeded RES001 violation: a pipe end leaks on an exception path.
+
+``connect_broken`` opens a pipe and only closes the send end after a
+validation call that can raise — on that raise edge the descriptor
+leaks (RES001 counts exception paths, because the fleet supervisor
+runs for thousands of cells and a leaked fd per crashed cell exhausts
+the process). ``connect_ok`` is the correct twin: try/finally pairs
+the close on every path. The receive end lands directly on ``self``
+in both — ownership transfers to the object, which is not a leak.
+"""
+
+from multiprocessing import Pipe
+
+
+def validate(spec: dict) -> None:
+    if not spec:
+        raise ValueError("empty spec")
+
+
+class WorkerChannel:
+    def __init__(self) -> None:
+        self._recv = None
+
+    def connect_broken(self, spec: dict) -> None:
+        self._recv, send = Pipe()
+        validate(spec)  # BUG: if this raises, send never closes
+        send.close()
+
+    def connect_ok(self, spec: dict) -> None:
+        self._recv, send = Pipe()
+        try:
+            validate(spec)
+        finally:
+            send.close()

@@ -1,0 +1,33 @@
+"""Seeded RES002 violation: a cache tmp file is neither published nor removed.
+
+``publish_broken`` writes the payload to a ``<key>.tmp`` side file but
+bails out on an early return without ``os.replace``-ing it over the
+final path or unlinking it — the orphan accumulates on every skipped
+publication. ``publish_ok`` is the correct twin: every normal exit
+either publishes the tmp file or unlinks it. Exception paths are *not*
+counted here (RES002): the crash-safe cache's startup sweep reclaims
+tmp files a dying process left behind.
+"""
+
+import os
+
+
+def publish_broken(directory: str, key: str, payload: str, ready: bool) -> bool:
+    tmp = os.path.join(directory, key + ".tmp")
+    with open(tmp, "w") as handle:
+        handle.write(payload)
+    if not ready:
+        return False  # BUG: the tmp file stays on disk
+    os.replace(tmp, os.path.join(directory, key + ".json"))
+    return True
+
+
+def publish_ok(directory: str, key: str, payload: str, ready: bool) -> bool:
+    tmp = os.path.join(directory, key + ".tmp")
+    with open(tmp, "w") as handle:
+        handle.write(payload)
+    if not ready:
+        os.unlink(tmp)
+        return False
+    os.replace(tmp, os.path.join(directory, key + ".json"))
+    return True

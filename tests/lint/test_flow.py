@@ -240,6 +240,65 @@ class TestReachability:
         )
 
 
+class TestRaiseEdges:
+    """The edges the dataflow rules lean on: ``assert`` and explicit
+    ``raise ... from ...`` escape the function, and a ``finally`` suite
+    wrapping ``break``/``continue`` is duplicated per continuation."""
+
+    def test_assert_has_raise_and_fall_through_edges(self):
+        _, cfg = _cfg(
+            """
+            def f(x):
+                assert x > 0
+                return x
+            """
+        )
+        (node,) = _nodes_at(cfg, 3)
+        assert Cfg.RAISE in cfg.raises.get(node, set())
+        assert _nodes_at(cfg, 4) & cfg.successors(node, include_raise=False)
+
+    def test_raise_from_escapes_with_no_normal_successor(self):
+        _, cfg = _cfg(
+            """
+            def f(x, exc):
+                if x:
+                    raise ValueError(x) from exc
+                return x
+            """
+        )
+        (node,) = _nodes_at(cfg, 4)
+        assert cfg.successors(node, include_raise=False) == set()
+        assert Cfg.RAISE in cfg.raises.get(node, set())
+
+    def test_finally_wrapping_break_and_continue_is_split_per_continuation(self):
+        func, cfg = _cfg(
+            """
+            def f(items, work, close):
+                for item in items:
+                    try:
+                        if work(item):
+                            break
+                        continue
+                    finally:
+                        close()
+                return None
+            """
+        )
+        close_stmt = func.body[0].body[0].finalbody[0]
+        copies = cfg.nodes_for(close_stmt)
+        # break, continue and raise continuations each run their own
+        # copy of the finally suite.
+        assert len(copies) >= 3
+        normal_succs: set[int] = set()
+        raise_targets: set[int] = set()
+        for copy in copies:
+            normal_succs |= cfg.successors(copy, include_raise=False)
+            raise_targets |= cfg.raises.get(copy, set())
+        assert _nodes_at(cfg, 10) & normal_succs  # break -> loop follow
+        assert _nodes_at(cfg, 3) & normal_succs  # continue -> loop header
+        assert Cfg.RAISE in raise_targets  # the raise continuation re-raises
+
+
 class TestStatementHelpers:
     def test_executed_exprs_are_headers_only(self):
         func = _func(

@@ -30,7 +30,11 @@ def test_all_expected_rules_registered():
 
 def test_all_expected_whole_program_rules_registered():
     assert set(WHOLE_PROGRAM_RULES) == {
+        "DETFLOW001",
+        "DETFLOW002",
         "PROV001",
+        "RES001",
+        "RES002",
         "SHOOT001",
         "SPAN001",
         "TLBGEN001",
@@ -51,7 +55,8 @@ def test_repo_has_no_new_findings():
 
 def test_repo_is_clean_under_whole_program_rules():
     """The CI strict gate: the call-graph/CFG protocol rules (TLBGEN,
-    SHOOT, PROV, SPAN) find nothing new anywhere in ``src/repro``."""
+    SHOOT, PROV, SPAN) and the interprocedural dataflow rules (DETFLOW,
+    RES) find nothing new anywhere in ``src/repro``."""
     result = lint_paths([PACKAGE_DIR], whole_program=True)
     new = filter_baseline(
         result.findings, load_baseline(default_baseline_path())

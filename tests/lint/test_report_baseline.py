@@ -146,6 +146,28 @@ class TestBaseline:
         )
         assert filter_baseline(drifted.findings, load_baseline(path)) == []
 
+    def test_dataflow_fingerprint_survives_line_drift(self, tmp_path):
+        """A baselined DETFLOW finding keeps matching after code above it
+        moves: the fingerprint hangs off (rule, path, context), never the
+        line number, and a dataflow finding's context is the *source*
+        line, which the drift does not touch."""
+        from repro.lint import clear_parse_cache
+
+        source = (FIXTURES_DIR / "detflow_tainted_job_key.py").read_text()
+        module = tmp_path / "drift.py"
+        module.write_text(source)
+        result = lint_paths([module], whole_program=True)
+        assert [f.rule for f in result.findings] == ["DETFLOW001"]
+        path = tmp_path / "baseline.json"
+        write_baseline(result.findings, path)
+
+        clear_parse_cache()
+        module.write_text("\n\n\n" + source)
+        drifted = lint_paths([module], whole_program=True)
+        assert [f.rule for f in drifted.findings] == ["DETFLOW001"]
+        assert drifted.findings[0].line == result.findings[0].line + 3
+        assert filter_baseline(drifted.findings, load_baseline(path)) == []
+
     def test_unknown_version_rejected(self, tmp_path):
         path = tmp_path / "baseline.json"
         path.write_text(json.dumps({"version": 99, "entries": []}))
@@ -192,7 +214,10 @@ class TestCliStrictMode:
             str(FIXTURES_DIR), "--whole-program", "--no-baseline"
         )
         assert proc.returncode == 1, proc.stdout + proc.stderr
-        for rule in ("TLBGEN001", "TLBGEN002", "SHOOT001", "PROV001", "SPAN001"):
+        for rule in (
+            "TLBGEN001", "TLBGEN002", "SHOOT001", "PROV001", "SPAN001",
+            "DETFLOW001", "DETFLOW002", "RES001", "RES002",
+        ):
             assert rule in proc.stdout
 
     def test_seeded_fixtures_render_as_sarif(self):

@@ -62,10 +62,15 @@ class TestFixturesFire:
 
     def test_fixtures_trip_nothing_else(self):
         """The seeded bugs are surgical: per-file rules see nothing, and
-        every whole-program finding is one of the five protocol rules."""
+        every whole-program finding is one of the protocol or dataflow
+        rules each fixture deliberately seeds."""
         result = lint_paths([FIXTURES], whole_program=True)
         assert {f.rule for f in result.findings} == {
+            "DETFLOW001",
+            "DETFLOW002",
             "PROV001",
+            "RES001",
+            "RES002",
             "SHOOT001",
             "SPAN001",
             "TLBGEN001",

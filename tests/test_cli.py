@@ -364,6 +364,77 @@ class TestLint:
         assert code == 2
         assert "unknown rule" in err
 
+    def test_explain_prints_the_rule_contract(self, capsys):
+        code, out, _ = run(capsys, "lint", "--explain", "DETFLOW001")
+        assert code == 0
+        assert out.startswith("DETFLOW001 (whole-program):")
+        assert "Sanctioned wrappers" in out
+        assert "# lint: allow[DETFLOW001]" in out
+
+    def test_explain_covers_per_file_rules_too(self, capsys):
+        code, out, _ = run(capsys, "lint", "--explain", "DET001")
+        assert code == 0
+        assert out.startswith("DET001 (per-file):")
+
+    def test_explain_unknown_rule_is_usage_error(self, capsys):
+        code, _, err = run(capsys, "lint", "--explain", "NOPE999")
+        assert code == 2
+        assert "DETFLOW001" in err  # the message lists the vocabulary
+
+    def test_stats_and_cache_warm_on_the_second_run(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "# dataflow: sink[determinism] -- replayed payload\n"
+            "def record(payload):\n"
+            "    return payload\n"
+            "import os\n"
+            "def emit():\n"
+            "    return record({'pid': os.getpid()})\n"
+        )
+        cache = tmp_path / "cache"
+        stats = tmp_path / "stats.json"
+        args = (
+            "lint", str(bad), "--whole-program", "--no-baseline",
+            "--cache-dir", str(cache), "--stats", str(stats),
+        )
+        code, cold_out, _ = run(capsys, *args)
+        assert code == 1 and "DETFLOW001" in cold_out
+        cold = json.loads(stats.read_text())
+        assert cold["summary_misses"] == 1 and cold["summary_hits"] == 0
+        code, warm_out, _ = run(capsys, *args)
+        assert code == 1 and warm_out == cold_out
+        warm = json.loads(stats.read_text())
+        assert warm["summary_hits"] == 1 and warm["summary_misses"] == 0
+
+    def test_no_cache_disables_the_summary_cache(self, capsys, tmp_path):
+        import json
+
+        stats = tmp_path / "stats.json"
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1\n")
+        code, _, _ = run(
+            capsys, "lint", str(bad), "--whole-program", "--no-baseline",
+            "--no-cache", "--stats", str(stats),
+        )
+        assert code == 0
+        document = json.loads(stats.read_text())
+        assert document["cache_dir"] is None
+
+    def test_json_report_carries_dataflow_stats(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1\n")
+        code, out, _ = run(
+            capsys, "lint", str(bad), "--whole-program", "--no-baseline",
+            "--no-cache", "--format", "json",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["dataflow"]["modules"] == 1
+
     def test_write_baseline_round_trip(self, capsys, tmp_path):
         bad = tmp_path / "bad.py"
         bad.write_text("page.entries[0] = 0\n")

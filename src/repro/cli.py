@@ -268,8 +268,14 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--check", action="store_true",
-        help="exit non-zero if engines disagree on metrics or the vector "
-        "tier is slower than scalar on the GUPS gate scenario",
+        help="exit non-zero if engines disagree on metrics, or the vector "
+        "tier is slower than scalar on the GUPS gate scenario or the "
+        "escape-heavy gate scenarios (redis-faults, memcached-traced)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full repro-bench-engine/2 report (with p50/p99 "
+        "batch latencies) to stdout instead of the summary table",
     )
 
 
@@ -633,11 +639,16 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
     Runs the :mod:`repro.sim.bench` scenarios (best-of-``--repeat``
     wall-clock per engine, fresh scenario per measurement), prints an
-    accesses/second table, and writes the ``repro-bench-engine/1`` report
-    to ``--out``. ``--check`` turns it into a regression gate: non-zero
-    exit when the engines' metrics differ anywhere or the vector tier is
-    slower than scalar on the GUPS scenario.
+    accesses/second table with per-batch p50/p99 latencies, and writes
+    the ``repro-bench-engine/2`` report to ``--out``. ``--json`` prints
+    the full report to stdout instead (machine-readable, what CI's
+    perf-smoke gate parses). ``--check`` turns it into a regression
+    gate: non-zero exit when the engines' metrics differ anywhere, or
+    the vector tier is slower than scalar on the GUPS scenario or the
+    escape-heavy redis-faults / memcached-traced scenarios.
     """
+    import json
+
     from repro.sim.bench import check_report, run_bench, write_report
 
     try:
@@ -647,16 +658,27 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for name, result in report["scenarios"].items():
-        engines = result["engines"]
-        print(
-            f"{name:>18}: scalar {engines['scalar']['accesses_per_second']:>12,.0f} acc/s"
-            f"  vector {engines['vector']['accesses_per_second']:>12,.0f} acc/s"
-            f"  speedup {result['speedup']:.2f}x"
-            f"  metrics {'equal' if result['metrics_equal'] else 'DIFFER'}"
-        )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        for name, result in report["scenarios"].items():
+            engines = result["engines"]
+            latency = result["batch_latency"]
+            print(
+                f"{name:>18}: scalar {engines['scalar']['accesses_per_second']:>12,.0f} acc/s"
+                f"  vector {engines['vector']['accesses_per_second']:>12,.0f} acc/s"
+                f"  speedup {result['speedup']:.2f}x"
+                f"  metrics {'equal' if result['metrics_equal'] else 'DIFFER'}"
+            )
+            print(
+                f"{'':>18}  batch p50/p99 (us): "
+                f"scalar {latency['scalar']['p50_us']:,.0f}/{latency['scalar']['p99_us']:,.0f}"
+                f"  vector {latency['vector']['p50_us']:,.0f}/{latency['vector']['p99_us']:,.0f}"
+                f"  ({latency['accesses_per_batch']} accesses/batch)"
+            )
     write_report(report, args.out)
-    print(f"report written to {args.out}")
+    if not args.json:
+        print(f"report written to {args.out}")
     if args.check:
         problems = check_report(report)
         for problem in problems:

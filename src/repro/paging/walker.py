@@ -21,6 +21,8 @@ from repro.paging.pagetable import PageTablePage, PageTableTree, Translation
 from repro.paging.pte import (
     PTE_ACCESSED,
     PTE_DIRTY,
+    PTE_HUGE,
+    PTE_PRESENT,
     pte_flags,
     pte_huge,
     pte_pfn,
@@ -123,4 +125,65 @@ class HardwareWalker:
             if level == LEAF_LEVEL:  # pragma: no cover - guarded above
                 return WalkResult(tuple(accesses), None, fault_va=va)
             page = self.tree.registry[pte_pfn(entry)]
+            level -= 1
+
+    def walk_into(
+        self,
+        va: int,
+        socket: int,
+        is_write: bool,
+        out_levels: list[int],
+        out_pfns: list[int],
+        out_nodes: list[int],
+        out_lines: list[int],
+        start: tuple[PageTablePage, int] | None = None,
+    ) -> tuple[int, Translation | None]:
+        """Allocation-free twin of :meth:`walk` for the batch engine.
+
+        Writes each level's (level, table pfn, node, cache-line address)
+        into the caller-owned output lists at indices ``0..n-1`` and
+        returns ``(n, translation)`` with ``translation is None`` meaning
+        a page fault at ``va``. The lists must be at least
+        ``geometry.root_level`` long; entries beyond ``n`` are stale.
+
+        Semantics are identical to ``walk(set_ad_bits=True)`` — same tree
+        traversal, same hardware A/D stores — minus the per-level
+        :class:`LevelAccess` and :class:`WalkResult` allocations, which
+        dominate the scalar walker's cost on walk-heavy streams
+        (docs/performance.md). ``tests/paging`` pins the twin against the
+        reference walk.
+        """
+        if start is not None:
+            page, level = start
+        else:
+            root_pfn = self.tree.ops.root_pfn_for_socket(self.tree, socket)
+            page = self.tree.registry[root_pfn]
+            level = self.tree.geometry.root_level
+        registry = self.tree.registry
+        line_mask = ~(CACHE_LINE_SIZE - 1)
+        n = 0
+        while True:
+            index = (va >> (12 + 9 * (level - 1))) & 511
+            pfn = page.pfn
+            out_levels[n] = level
+            out_pfns[n] = pfn
+            out_nodes[n] = page.node
+            out_lines[n] = (pfn << 12) + (index * 8 & line_mask)
+            n += 1
+            entry = page.entries[index]
+            if not entry & PTE_PRESENT:
+                return n, None
+            is_leaf = level == LEAF_LEVEL or (level == HUGE_LEAF_LEVEL and entry & PTE_HUGE)
+            new_entry = entry | PTE_ACCESSED
+            if is_write and is_leaf:
+                new_entry |= PTE_DIRTY
+            if new_entry != entry:
+                # lint: allow[PVOPS001,PROV001] -- hardware A/D store: the MMU writes the walked replica directly, outside PV-Ops (§5.4)
+                page.entries[index] = new_entry
+                entry = new_entry
+            if is_leaf:
+                offset_bits = 21 if level == HUGE_LEAF_LEVEL else 12
+                leaf_pfn = pte_pfn(entry) + ((va >> 12) & ((1 << (offset_bits - 12)) - 1))
+                return n, Translation(pfn=leaf_pfn, flags=pte_flags(entry), level=level)
+            page = registry[pte_pfn(entry)]
             level -= 1

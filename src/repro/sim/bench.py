@@ -9,9 +9,12 @@ docs/performance.md) on three representative scenarios:
   every access is an L1 hit and the batch tier carries the run.
 * ``redis-faults`` — the escape-heavy adversary: part of the working set
   is reclaimed to swap pre-run and a seeded :class:`FaultPlan` injects
-  I/O stalls, so the run keeps major-faulting through the scalar path.
+  I/O stalls, so the run keeps major-faulting. Carried by the batched
+  escape interpreter (:mod:`repro.sim.escape`), whose fault-partitioned
+  spans keep FaultPlans from forcing whole-run scalar execution.
 * ``memcached-traced`` — both engines measured with a live
-  :class:`TraceSession`, the observability worst case.
+  :class:`TraceSession`, the observability worst case; the vector tier's
+  deferred structure-of-arrays trace flush is what's on trial.
 
 Every measurement builds a *fresh* scenario (runs mutate TLBs, page
 tables and swap state) and times only :meth:`Simulator.run` — workload
@@ -20,9 +23,15 @@ re-checks the equivalence contract on every invocation: for each scenario
 the scalar and vector metrics must match exactly, and the report records
 the verdict.
 
-The report (``BENCH_engine.json``, schema ``repro-bench-engine/1``)
+The report (``BENCH_engine.json``, schema ``repro-bench-engine/2``)
 stores seconds and accesses/second per engine plus the vector/scalar
-speedup, giving this and every future PR a throughput trajectory.
+speedup, giving this and every future PR a throughput trajectory. Since
+schema ``/2`` each scenario also carries ``batch_latency``: wall-clock
+p50/p99 over fixed-size *access batches* (epoch slices) per engine, the
+service-shaped view — a tail batch is a stalled request. Percentile runs
+are separate from the throughput runs: epoch slicing changes the vector
+tier's chunk economics, so timing epochs inside the throughput runs
+would perturb the very number the trajectory tracks.
 
 This module is the one deliberate exception to the DET001 wall-clock
 ban: throughput *is* wall-clock time, and nothing here feeds back into
@@ -32,6 +41,7 @@ simulated state.
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -46,10 +56,13 @@ from contextlib import nullcontext
 from repro.trace.session import TraceSession, tracing
 from repro.units import MIB
 
-SCHEMA = "repro-bench-engine/1"
+SCHEMA = "repro-bench-engine/2"
 
 #: ThreadMetrics fields on the equivalence surface (ints exact, floats
 #: bit-identical — the vector engine reproduces the scalar fold order).
+#: The escape-class counters are machine facts, so they are on it too;
+#: ``escape_bailout`` is deliberately absent (vector-tier scheduling,
+#: always 0 on scalar — see :class:`repro.sim.metrics.ThreadMetrics`).
 THREAD_FIELDS = (
     "accesses",
     "tlb_lookups",
@@ -57,6 +70,9 @@ THREAD_FIELDS = (
     "faults",
     "walk_memory_refs",
     "walk_llc_hits",
+    "escape_l1_miss",
+    "escape_fault",
+    "escape_trace",
     "data_cycles",
     "walk_cycles",
     "fault_cycles",
@@ -152,6 +168,78 @@ SCENARIOS: dict[str, BenchScenario] = {
 #: applies to.
 GATE_SCENARIO = "gups-4socket"
 
+#: Escape-heavy scenarios the batched escape interpreter must keep at or
+#: above scalar throughput (``--check`` / CI perf-smoke gate): faults and
+#: live tracing may no longer push the vector tier below 1x.
+ESCAPE_GATE_SCENARIOS = ("redis-faults", "memcached-traced")
+
+#: Access batches per percentile-profiling run (each batch is one epoch
+#: slice). 64 keeps p50 stable at smoke scale while p99 tracks the worst
+#: batch — exactly the service-shaped question ("how slow is a stalled
+#: request window").
+_LATENCY_BATCHES = 64
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending sample list."""
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+def _measure_batches(
+    scenario: BenchScenario, engine: str, accesses: int
+) -> list[float]:
+    """Wall-clock duration (µs) of each fixed-size access batch.
+
+    Builds a fresh scenario, splits the run into ``_LATENCY_BATCHES``
+    epoch slices and timestamps every slice boundary through the epoch
+    callback. Kept separate from the throughput runs: epoch slicing
+    resets the vector tier's chunk state per slice, which would perturb
+    the accesses/second numbers the report's trajectory tracks.
+    """
+    setup, config = scenario.build(accesses)
+    config.engine = engine
+    # The bench scenarios configure neither epochs nor callbacks, so the
+    # profiling run owns both knobs.
+    config.epochs = max(1, min(_LATENCY_BATCHES, accesses))
+    marks: list[float] = []
+
+    def mark(_epoch: int, _metrics: RunMetrics) -> None:
+        marks.append(time.perf_counter())  # lint: allow[DET001] -- wall-clock batch latency is the measurement
+
+    config.epoch_callback = mark
+    sim = Simulator(setup.kernel, config)
+    sockets = [thread.socket for thread in setup.process.threads]
+    scope = (
+        tracing(TraceSession(sinks=(), metadata={"bench": scenario.name}))
+        if scenario.traced
+        else nullcontext()
+    )
+    with scope:
+        start = time.perf_counter()  # lint: allow[DET001] -- wall-clock batch latency is the measurement
+        sim.run(setup.process, setup.workload, sockets, setup.va_base)
+        end = time.perf_counter()  # lint: allow[DET001] -- wall-clock batch latency is the measurement
+    bounds = [start, *marks, end]
+    return [
+        (bounds[j + 1] - bounds[j]) * 1e6 for j in range(len(bounds) - 1)
+    ]
+
+
+def _batch_latency(scenario: BenchScenario, accesses: int) -> dict:
+    """Per-engine p50/p99 over the batch-duration samples."""
+    batches = max(1, min(_LATENCY_BATCHES, accesses))
+    result: dict = {
+        "batches": batches,
+        "accesses_per_batch": accesses // batches,
+    }
+    for engine in ENGINES:
+        samples = sorted(_measure_batches(scenario, engine, accesses))
+        result[engine] = {
+            "p50_us": round(_percentile(samples, 50.0), 1),
+            "p99_us": round(_percentile(samples, 99.0), 1),
+        }
+    return result
+
 
 def _measure_once(
     scenario: BenchScenario, engine: str, accesses: int
@@ -201,6 +289,8 @@ def run_scenario(
         "engines": engines,
         "speedup": round(vector_aps / scalar_aps, 3),
         "metrics_equal": metrics_equal(first_metrics["scalar"], first_metrics["vector"]),
+        "escape_counts": dict(first_metrics["vector"].escape_counts),
+        "batch_latency": _batch_latency(scenario, accesses),
     }
 
 
@@ -209,7 +299,7 @@ def run_bench(
     repeat: int = 3,
     scenarios: list[str] | None = None,
 ) -> dict:
-    """Run the harness and return the ``repro-bench-engine/1`` report."""
+    """Run the harness and return the ``repro-bench-engine/2`` report."""
     names = list(scenarios) if scenarios else list(SCENARIOS)
     for name in names:
         if name not in SCENARIOS:
@@ -227,7 +317,7 @@ def run_bench(
 class BenchSpec:
     """Serializable descriptor of one perf measurement (a fleet job).
 
-    The payload is one scenario's ``repro-bench-engine/1`` entry. Timing
+    The payload is one scenario's ``repro-bench-engine/2`` entry. Timing
     numbers are wall-clock (never deterministic), but the equivalence
     verdict is — a cached bench result answers "did the engines agree at
     this code version", while fresh timings need a fresh run.
@@ -288,8 +378,9 @@ def write_report(report: dict, path: str) -> None:
 
 def check_report(report: dict) -> list[str]:
     """Regression verdicts for ``--check``: every scenario must keep the
-    engines metric-equal, and the gate scenario's vector tier must not be
-    slower than scalar."""
+    engines metric-equal, and neither the fast-path gate scenario nor the
+    escape-heavy gate scenarios may run the vector tier slower than
+    scalar (the batched escape interpreter's floor)."""
     problems = []
     for name, result in report["scenarios"].items():
         if not result["metrics_equal"]:
@@ -297,5 +388,10 @@ def check_report(report: dict) -> list[str]:
         if name == GATE_SCENARIO and result["speedup"] < 1.0:
             problems.append(
                 f"{name}: vector engine slower than scalar (speedup {result['speedup']:.3f})"
+            )
+        if name in ESCAPE_GATE_SCENARIOS and result["speedup"] < 1.0:
+            problems.append(
+                f"{name}: batched escape tier slower than scalar "
+                f"(speedup {result['speedup']:.3f})"
             )
     return problems

@@ -22,10 +22,14 @@ contract of docs/performance.md, enforced by
 
 * ``scalar`` — the reference per-access loop (:class:`_ThreadExecution`);
 * ``vector`` (default) — a numpy fast path that resolves *runs* of
-  guaranteed L1-TLB hits in bulk and escapes to the same scalar code for
-  everything stateful (misses, walks, faults, AutoNUMA samples). Batches
-  are validated in O(1) against :meth:`TlbHierarchy.fastpath_token`, whose
-  generation half is bumped by every shootdown/invalidation path.
+  guaranteed L1-TLB hits in bulk, validated in O(1) against
+  :meth:`TlbHierarchy.fastpath_token` (whose generation half is bumped by
+  every shootdown/invalidation path). Everything the hit mask cannot
+  cover — the walk/fault/trace *escape classes* of docs/performance.md —
+  runs on the batched escape interpreter (:mod:`repro.sim.escape`):
+  inlined TLB probes, the allocation-free walker batch entry point,
+  fault-partitioned spans, and a deferred structure-of-arrays trace
+  flush that reproduces the scalar tier's record stream exactly.
 
 Select with ``EngineConfig(engine=...)`` or ``REPRO_ENGINE=scalar|vector``.
 """
@@ -44,6 +48,7 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process
 from repro.machine.latency import cost_table
 from repro.paging.walker import HardwareWalker
+from repro.sim.escape import EscapeRunner
 from repro.sim.metrics import RunMetrics, ThreadMetrics
 from repro.tlb.mmu_cache import MmuCacheConfig, MmuCaches
 from repro.tlb.tlb import Tlb, TlbConfig, TlbHierarchy
@@ -62,13 +67,14 @@ _CHUNK = 2048
 #: Below this run length the per-run numpy overhead exceeds scalar cost.
 _MIN_RUN = 32
 #: Deterministic bail-out: after this many accesses of a slice, if fewer
-#: than 1/4 were batchable the rest of the slice runs on the scalar tier
-#: (must span at least two chunks so the post-warmup mask gets a chance).
+#: than 1/4 were batchable the rest of the slice runs on the escape
+#: interpreter without further mask-building (must span at least two
+#: chunks so the post-warmup mask gets a chance).
 _ADAPT_PROBE = 2 * _CHUNK
-#: After a snapshot rebuild, stale-token transitions keep escaping to the
-#: scalar tier for this many accesses instead of rebuilding again: near
-#: TLB capacity every walk evicts (bumping the token), and a rebuild per
-#: eviction costs far more than a few conservative scalar steps.
+#: After a snapshot rebuild, stale-token transitions keep escaping for
+#: this many accesses instead of rebuilding again: near TLB capacity
+#: every walk evicts (bumping the token), and a rebuild per eviction
+#: costs far more than a few conservative escape-side accesses.
 _REBUILD_COOLDOWN = 64
 
 @dataclass
@@ -218,12 +224,13 @@ class _ThreadExecution:
     """Per-(thread, epoch-slice) state shared by both interpreter tiers.
 
     Owns the cost tables and the running accumulators; :meth:`run_span` is
-    the reference scalar interpreter and :meth:`step`/:meth:`walk_one` are
-    the single-access escape hatches the vector tier reuses, so a walk —
-    fault handling, LLC probes, MMU-cache fills, trace events — is the
-    same code on both tiers. Accumulators fold strictly left-to-right per
-    counter, which keeps the float totals identical no matter how a slice
-    is partitioned into batches and escapes.
+    the reference scalar interpreter (with :meth:`walk_one` as its
+    TLB-miss path), and the vector tier's :class:`repro.sim.escape
+    .EscapeRunner` reads the same fields and folds into the same
+    accumulators with access-for-access identical semantics. Accumulators
+    fold strictly left-to-right per counter, which keeps the float totals
+    identical no matter how a slice is partitioned into batches and
+    escape spans.
     """
 
     def __init__(
@@ -272,6 +279,13 @@ class _ThreadExecution:
         self.walk_llc_hits = 0
         self.faults = 0
         self.fault_cycles = 0.0
+        #: Guaranteed L1 hits handled escape-side for economic reasons
+        #: (vector tier only; the scalar tier has no batcher to bail from).
+        self.escape_bailout = 0
+        # The L1-miss escape class is a hierarchy-counter delta: identical
+        # between tiers because the batched runs replay hit counting
+        # exactly, so the slice's miss total is a machine fact.
+        self._l1_misses_start = self.tlb.totals.l1.misses
 
     def run_span(
         self,
@@ -308,18 +322,6 @@ class _ThreadExecution:
             if autonuma is not None and ((index_base + i) & sample_mask) == 0:
                 autonuma.record_access(process, va, socket)
         self.data_cycles = data_cycles
-
-    def step(self, va: int, is_write: bool, hit_roll: bool, polluted: bool, index: int) -> None:
-        """One access on the scalar tier (the vector tier's escape hatch)."""
-        translation = self.tlb.lookup(va)
-        if translation is None:
-            translation = self.walk_one(va, is_write, polluted)
-        if hit_roll:
-            self.data_cycles += self.llc_hit_cost
-        else:
-            self.data_cycles += self.data_cost[translation.pfn // self.frames_per_node]
-        if self.autonuma is not None and (index & self.sample_mask) == 0:
-            self.autonuma.record_access(self.process, va, self.socket)
 
     def walk_one(self, va: int, is_write: bool, polluted: bool):
         """Full TLB-miss path: MMU-cache probe, hardware walk (servicing a
@@ -426,6 +428,10 @@ class _ThreadExecution:
         out.faults += self.faults
         out.walk_memory_refs += self.walk_refs
         out.walk_llc_hits += self.walk_llc_hits
+        out.escape_l1_miss += self.tlb.totals.l1.misses - self._l1_misses_start
+        out.escape_fault += self.faults
+        out.escape_trace += self.walks if self.session is not None else 0
+        out.escape_bailout += self.escape_bailout
 
 
 class Simulator:
@@ -634,12 +640,20 @@ class Simulator:
         the TLB performs no fills or evictions, so residency at run start
         guarantees every access in it hits — the bulk replay (stats adds,
         last-occurrence LRU promotions, ``_chain_sum`` cost folding)
-        reproduces the scalar tier's state transitions exactly. Anything
-        else — miss, fault, short run — escapes to ``_ThreadExecution``'s
-        scalar code. Masks are revalidated against ``fastpath_token()``
-        before every batched run, so a shootdown / replication change /
-        migration (which bump the TLB generation) forces a re-resolve and
-        a stale batched translation is impossible.
+        reproduces the scalar tier's state transitions exactly.
+
+        Everything else — misses, short runs, cooldown stretches, the
+        post-bail-out tail — is handed to the batched escape interpreter
+        (:class:`EscapeRunner`) in maximal *spans* rather than one access
+        at a time: the mask is fixed while a span runs (escapes never
+        un-stale a token or flip mask bits from miss to hit), so span
+        boundaries land exactly where the per-access loop's would. Faults
+        partition a span inside the runner; trace records buffer and
+        flush post-span with identical timestamps. Masks are revalidated
+        against ``fastpath_token()`` before every batched run, so a
+        shootdown / replication change / migration (which bump the TLB
+        generation) forces a re-resolve and a stale batched translation
+        is impossible.
         """
         ex = _ThreadExecution(self, process, walker, context, llcs, socket, mlp, out)
         n = int(vas.size)
@@ -655,6 +669,7 @@ class Simulator:
         l1_4k = tlb.l1_4k
         l1_2m = tlb.l1_2m
         totals_l1 = tlb.totals.l1
+        escape = EscapeRunner(ex)
 
         snap_token: tuple[int, int] | None = None
         snap_walks = -1
@@ -662,6 +677,10 @@ class Simulator:
         lut_2m: _ResidencyLut | None = None
         mask_4k: np.ndarray | None = None
         ok: np.ndarray | None = None
+        # Chunk-local python lists for escape spans, built lazily on the
+        # first escape within a chunk (all-hit steady-state chunks never
+        # pay the conversion).
+        chunk_lists: tuple[list, list, list, list] | None = None
         chunk_lo = 0
         chunk_hi = 0
         chunk_size = _CHUNK_MIN
@@ -675,20 +694,28 @@ class Simulator:
                 # An escape evicted or invalidated entries after this mask
                 # was built; it can no longer be trusted for batching.
                 if i < cooldown:
-                    # Recently rebuilt: take the (always sound) scalar
-                    # step rather than rebuilding on every eviction.
-                    ex.step(
-                        int(vas[i]), bool(writes[i]), bool(hit_rolls[i]),
-                        bool(pollution_rolls[i]), i,
-                    )
-                    i += 1
+                    # Recently rebuilt: run the (always sound) escape
+                    # interpreter to the cooldown horizon rather than
+                    # rebuilding on every eviction. One span is exact:
+                    # the token stays stale (it never un-stales), so
+                    # every access up to the horizon escapes anyway.
+                    stop = min(cooldown, chunk_hi)
+                    if chunk_lists is None:
+                        chunk_lists = (
+                            vas[chunk_lo:chunk_hi].tolist(),
+                            writes[chunk_lo:chunk_hi].tolist(),
+                            hit_rolls[chunk_lo:chunk_hi].tolist(),
+                            pollution_rolls[chunk_lo:chunk_hi].tolist(),
+                        )
+                    escape.run(*chunk_lists, i - chunk_lo, stop - chunk_lo, chunk_lo)
+                    i = stop
                     continue
                 ok = None
             if ok is None:
                 # Deterministic economics, checked before every rebuild:
                 # when batching is not paying off (miss-heavy slice, or
                 # hits too scattered to form batchable runs), hand the
-                # rest to the reference loop.
+                # rest to the escape interpreter in one span.
                 if i >= _ADAPT_PROBE and fast * 4 < i:
                     break
                 if tlb.fastpath_token() != snap_token or ex.walks != snap_walks:
@@ -700,13 +727,21 @@ class Simulator:
                 chunk_size = min(chunk_size * 2, _CHUNK)
                 mask_4k = lut_4k.contains(vpn4[chunk_lo:chunk_hi])
                 ok = mask_4k | lut_2m.contains(vpn2[chunk_lo:chunk_hi])
+                chunk_lists = None
             rel = i - chunk_lo
             if not ok[rel]:
-                ex.step(
-                    int(vas[i]), bool(writes[i]), bool(hit_rolls[i]),
-                    bool(pollution_rolls[i]), i,
-                )
-                i += 1
+                # A maximal run of will-miss accesses: one escape span.
+                stops = np.flatnonzero(ok[rel:])
+                k = int(stops[0]) if stops.size else int(ok.size) - rel
+                if chunk_lists is None:
+                    chunk_lists = (
+                        vas[chunk_lo:chunk_hi].tolist(),
+                        writes[chunk_lo:chunk_hi].tolist(),
+                        hit_rolls[chunk_lo:chunk_hi].tolist(),
+                        pollution_rolls[chunk_lo:chunk_hi].tolist(),
+                    )
+                escape.run(*chunk_lists, rel, rel + k, chunk_lo)
+                i += k
                 continue
             stops = np.flatnonzero(~ok[rel:])
             k = int(stops[0]) if stops.size else int(ok.size) - rel
@@ -714,12 +749,15 @@ class Simulator:
                 # Guaranteed hits, but too short for numpy to pay off.
                 # Deliberately not counted as fast progress: a slice made
                 # of short scattered runs loses to mask-rebuild overhead
-                # and should bail to the reference loop.
-                for j in range(i, i + k):
-                    ex.step(
-                        int(vas[j]), bool(writes[j]), bool(hit_rolls[j]),
-                        bool(pollution_rolls[j]), j,
+                # and should bail out of mask-building entirely.
+                if chunk_lists is None:
+                    chunk_lists = (
+                        vas[chunk_lo:chunk_hi].tolist(),
+                        writes[chunk_lo:chunk_hi].tolist(),
+                        hit_rolls[chunk_lo:chunk_hi].tolist(),
+                        pollution_rolls[chunk_lo:chunk_hi].tolist(),
                     )
+                escape.run(*chunk_lists, rel, rel + k, chunk_lo)
                 i += k
                 continue
             fast += k
@@ -758,10 +796,11 @@ class Simulator:
                     autonuma.record_access(process, int(vas[p]), socket)
             i += k
         if i < n:
-            # Adaptive bail-out: reference interpreter for the tail.
-            ex.run_span(
+            # Adaptive bail-out: escape interpreter for the whole tail.
+            escape.run(
                 vas[i:].tolist(), writes[i:].tolist(),
                 hit_rolls[i:].tolist(), pollution_rolls[i:].tolist(),
-                index_base=i,
+                0, n - i, i,
             )
+        escape.close()
         ex.finish(out, n)

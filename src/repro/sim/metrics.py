@@ -27,6 +27,22 @@ class ThreadMetrics:
     faults: int = 0
     walk_memory_refs: int = 0
     walk_llc_hits: int = 0
+    #: Escape-class counters: why accesses left the engine's batched hit
+    #: path (docs/performance.md "The three escape classes"). The first
+    #: three are *machine facts* — identical between interpreter tiers and
+    #: covered by the bit-identical-metrics contract:
+    #: L1-TLB misses (every one consults L2 and possibly the walker).
+    escape_l1_miss: int = 0
+    #: Walks that entered the demand-fault path.
+    escape_fault: int = 0
+    #: Walks made while a live TraceSession records walk spans.
+    escape_trace: int = 0
+    #: Vector tier only (0 on scalar): guaranteed L1 *hits* the batcher
+    #: ceded to the escape interpreter for economic reasons — short runs,
+    #: rebuild cooldown, adaptive bail-out. The one escape counter that
+    #: reflects engine scheduling rather than machine state, hence outside
+    #: the equivalence surface.
+    escape_bailout: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -90,3 +106,16 @@ class RunMetrics:
     @property
     def accesses(self) -> int:
         return sum(t.accesses for t in self.threads)
+
+    @property
+    def escape_counts(self) -> dict[str, int]:
+        """Per-reason escape totals across threads: why accesses left the
+        batched hit path (``l1_miss``/``fault``/``trace`` are machine
+        facts shared by both tiers; ``bailout`` is vector-tier
+        scheduling — see :class:`ThreadMetrics`)."""
+        return {
+            "l1_miss": sum(t.escape_l1_miss for t in self.threads),
+            "fault": sum(t.escape_fault for t in self.threads),
+            "trace": sum(t.escape_trace for t in self.threads),
+            "bailout": sum(t.escape_bailout for t in self.threads),
+        }

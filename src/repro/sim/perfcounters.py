@@ -55,6 +55,12 @@ def perf_stat(metrics: RunMetrics) -> PerfReport:
             sum(t.walk_llc_hits for t in metrics.threads)
         ),
         "faults": float(sum(t.faults for t in metrics.threads)),
+        # Engine escape accounting ("why did we leave the batched hit
+        # path") — software counters; the first three are tier-invariant.
+        "engine.escape_l1_miss": float(metrics.escape_counts["l1_miss"]),
+        "engine.escape_fault": float(metrics.escape_counts["fault"]),
+        "engine.escape_trace": float(metrics.escape_counts["trace"]),
+        "engine.escape_bailout": float(metrics.escape_counts["bailout"]),
         # Robustness counters (no hardware event — software counters, like
         # perf's ``faults``/``migrations`` software events).
         "mitosis.faults_injected": float(metrics.faults_injected),

@@ -98,8 +98,18 @@ class TestPerformancePage:
             "vector",
             "BENCH_engine.json",
             "fastpath_token",
-            "repro-bench-engine/1",
+            "repro-bench-engine/2",
             "tests/sim/test_engine_equivalence.py",
+            # The batched escape tier (ISSUE 8): the three escape classes
+            # and the service-shaped percentile output must stay documented.
+            "escape class",
+            "repro.sim.escape",
+            "walk_into",
+            "WalkTraceBuffer",
+            "p50",
+            "p99",
+            "batch_latency",
+            "escape_bailout",
         ):
             assert required in page, f"performance.md lost: {required}"
 

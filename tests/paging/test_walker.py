@@ -78,6 +78,77 @@ class TestWalk:
         assert far.faulted or far.accesses[-1].line_addr not in lines
 
 
+class TestWalkInto:
+    """walk_into is the batch engine's allocation-free twin of walk():
+    same traversal, same per-level report, same A/D stores — just written
+    into caller-owned arrays instead of LevelAccess/WalkResult objects."""
+
+    def _into(self, walker, va, socket, is_write=False, start=None):
+        out = ([0] * 6, [0] * 6, [0] * 6, [0] * 6)
+        n, translation = walker.walk_into(va, socket, is_write, *out, start=start)
+        rows = [(out[0][j], out[1][j], out[2][j], out[3][j]) for j in range(n)]
+        return rows, translation
+
+    @staticmethod
+    def _reference_rows(result):
+        return [(a.level, a.pfn, a.node, a.line_addr) for a in result.accesses]
+
+    def test_matches_reference_walk_4k(self, tree_remote_pt, physmem2):
+        pfn = physmem2.alloc_frame(0).pfn
+        tree_remote_pt.map_page(0x1000, pfn, FLAGS)
+        walker = HardwareWalker(tree_remote_pt)
+        rows, translation = self._into(walker, 0x1000, 0)
+        reference = walker.walk(0x1000, socket=0)
+        assert rows == self._reference_rows(reference)
+        assert translation == reference.translation
+
+    def test_matches_reference_walk_huge(self, tree_remote_pt, physmem2):
+        frame = physmem2.alloc_huge_frame(0)
+        tree_remote_pt.map_page(0, frame.pfn, FLAGS, huge=True)
+        walker = HardwareWalker(tree_remote_pt)
+        rows, translation = self._into(walker, 3 * PAGE_SIZE, 0)
+        reference = walker.walk(3 * PAGE_SIZE, socket=0)
+        assert rows == self._reference_rows(reference)
+        assert translation == reference.translation
+        assert translation.pfn == frame.pfn + 3
+
+    def test_fault_reports_partial_levels(self, tree_remote_pt):
+        walker = HardwareWalker(tree_remote_pt)
+        rows, translation = self._into(walker, 0x9000, 0)
+        reference = walker.walk(0x9000, socket=0)
+        assert translation is None
+        assert reference.faulted
+        assert rows == self._reference_rows(reference)
+
+    def test_start_override_skips_levels(self, tree_remote_pt, physmem2):
+        pfn = physmem2.alloc_frame(0).pfn
+        tree_remote_pt.map_page(0x1000, pfn, FLAGS)
+        walker = HardwareWalker(tree_remote_pt)
+        leaf_table_pfn = walker.walk(0x1000, socket=0).accesses[-1].pfn
+        leaf_table = tree_remote_pt.registry[leaf_table_pfn]
+        rows, translation = self._into(walker, 0x1000, 0, start=(leaf_table, 1))
+        assert len(rows) == 1
+        assert translation.pfn == pfn
+
+    def test_write_walk_sets_ad_bits_like_reference(self, tree_remote_pt, physmem2):
+        pfn = physmem2.alloc_frame(0).pfn
+        tree_remote_pt.map_page(0x1000, pfn, FLAGS)
+        walker = HardwareWalker(tree_remote_pt)
+        self._into(walker, 0x1000, 0, is_write=True)
+        leaf = tree_remote_pt.leaf_location(0x1000)
+        entry = leaf.page.entries[leaf.index]
+        assert pte_accessed(entry)
+        assert pte_dirty(entry)
+
+    def test_ad_updates_bypass_pvops(self, tree_remote_pt, physmem2):
+        pfn = physmem2.alloc_frame(0).pfn
+        tree_remote_pt.map_page(0x1000, pfn, FLAGS)
+        writes_before = tree_remote_pt.ops.stats.pte_writes
+        walker = HardwareWalker(tree_remote_pt)
+        self._into(walker, 0x1000, 0, is_write=True)
+        assert tree_remote_pt.ops.stats.pte_writes == writes_before
+
+
 class TestAdBits:
     def test_read_walk_sets_accessed_not_dirty(self, tree_remote_pt, physmem2):
         pfn = physmem2.alloc_frame(0).pfn

@@ -1,0 +1,80 @@
+"""Unit tests for the batched escape tier's building blocks.
+
+The end-to-end guarantees (bit-identical metrics, identical trace record
+streams) live in test_engine_equivalence.py; these tests pin the
+:class:`WalkTraceBuffer` mechanics directly — exact replay calls, clock
+behaviour, reset semantics.
+"""
+
+from repro.sim.escape import WalkTraceBuffer
+from repro.trace.session import TraceSession
+
+
+def _buffer_with_two_walks(session):
+    buf = WalkTraceBuffer(session, track=3, socket=1)
+    # Walk 1: two levels (an L2-resumed walk), not faulted.
+    buf.l_levels.extend([2, 1])
+    buf.l_nodes.extend([0, 1])
+    buf.l_hits.extend([True, False])
+    buf.l_costs.extend([20.0, 150.25])
+    buf.walk(va=0x1000, faulted=False, dur=170.25, n_levels=2)
+    # Walk 2: one level, faulted then re-walked.
+    buf.l_levels.append(1)
+    buf.l_nodes.append(1)
+    buf.l_hits.append(False)
+    buf.l_costs.append(300.0)
+    buf.walk(va=0x2000, faulted=True, dur=300.0, n_levels=1)
+    return buf
+
+
+class TestWalkTraceBuffer:
+    def test_flush_replays_walk_spans_in_order(self):
+        session = TraceSession(sinks=())
+        buf = _buffer_with_two_walks(session)
+        assert len(buf) == 2
+        buf.flush()
+        events = list(session.events)
+        assert [e.name for e in events] == ["walk", "walk"]
+        first, second = events
+        assert first.args["va"] == 0x1000
+        assert first.args["faulted"] is False
+        assert first.dur == 170.25
+        assert first.args["levels"] == [
+            {"level": 2, "node": 0, "remote": True, "llc_hit": True, "cycles": 20.0},
+            {"level": 1, "node": 1, "remote": False, "llc_hit": False, "cycles": 150.2},
+        ]
+        assert second.args["va"] == 0x2000
+        assert second.args["faulted"] is True
+        assert second.args["levels"] == [
+            {"level": 1, "node": 1, "remote": False, "llc_hit": False, "cycles": 300.0}
+        ]
+        # track/socket attribution carried per buffer, not per walk.
+        assert first.track == 3 and second.track == 3
+        assert first.args["socket"] == 1
+
+    def test_flush_advances_clock_like_inline_emission(self):
+        """complete() ticks once per span and advances by dur — the flush
+        must reproduce that exact tick/advance sequence."""
+        session = TraceSession(sinks=())
+        buf = _buffer_with_two_walks(session)
+        buf.flush()
+        first, second = list(session.events)
+        assert second.ts == first.ts + 1.0 + first.dur
+        assert session.clock.now == second.ts + second.dur
+
+    def test_flush_feeds_walk_cycles_histogram(self):
+        session = TraceSession(sinks=())
+        buf = _buffer_with_two_walks(session)
+        buf.flush()
+        histogram = session.metrics.histograms["walker.walk_cycles"]
+        assert histogram.count == 2
+
+    def test_flush_resets_and_is_idempotent(self):
+        session = TraceSession(sinks=())
+        buf = _buffer_with_two_walks(session)
+        buf.flush()
+        assert len(buf) == 0
+        assert not buf.l_levels
+        emitted = len(session.events)
+        buf.flush()  # empty flush: no-op, no clock activity
+        assert len(session.events) == emitted

@@ -12,11 +12,17 @@ into sweeps that survive crashing, hanging and flaky cells:
   that doubles as the resume checkpoint;
 * :mod:`repro.fleet.supervisor` — one supervised worker process per
   attempt, with wall-clock timeouts and SIGTERM→SIGKILL escalation;
+* :mod:`repro.fleet.pool` — the persistent warm-worker pool
+  (:class:`WorkerPool`): long-lived processes that import once and loop
+  pulling jobs over a duplex pipe, recycled on timeout or crash;
 * :mod:`repro.fleet.dispatcher` — :class:`Fleet`: sharding, bounded
   retries with backoff + jitter, poisoned-job quarantine, graceful
-  SIGINT shutdown, and self-hosted chaos at ``fleet.worker.crash``;
+  SIGINT shutdown, event-driven wakeup, and self-hosted chaos at
+  ``fleet.worker.crash``;
 * :mod:`repro.fleet.report` — :class:`FleetReport`: merged outcomes,
-  chaos-campaign aggregation, failing-cell reproducers.
+  chaos-campaign aggregation, failing-cell reproducers;
+* :mod:`repro.fleet.bench` — the dispatch-throughput benchmark behind
+  ``python -m repro.cli perf --fleet`` (``BENCH_fleet.json``).
 """
 
 from repro.fleet.cache import CacheStats, ResultCache
@@ -25,12 +31,14 @@ from repro.fleet.jobs import (
     KEY_SCHEMA,
     ProbeSpec,
     SPEC_KINDS,
+    bench_grid,
     canonical_json,
     chaos_grid,
     job_key,
     scenario_grid,
     spec_from_dict,
 )
+from repro.fleet.pool import PoolWorker, WorkerPool
 from repro.fleet.report import (
     STATUS_CACHED,
     STATUS_COMPUTED,
@@ -46,6 +54,7 @@ from repro.fleet.supervisor import (
     OUTCOME_TIMEOUT,
     AttemptOutcome,
     WorkerHandle,
+    execute_job,
     run_attempt_inline,
 )
 
@@ -66,11 +75,15 @@ __all__ = [
     "FleetConfig",
     "FleetReport",
     "JobOutcome",
+    "PoolWorker",
     "ProbeSpec",
     "ResultCache",
     "WorkerHandle",
+    "WorkerPool",
+    "bench_grid",
     "canonical_json",
     "chaos_grid",
+    "execute_job",
     "job_key",
     "run_attempt_inline",
     "scenario_grid",

@@ -1,0 +1,242 @@
+"""Fleet dispatch-throughput benchmark (``python -m repro.cli perf --fleet``).
+
+The :mod:`repro.sim.bench` harness asks "how fast does one cell
+simulate"; this one asks "how fast does the *fleet* move cells" — the
+number that decides whether a 10k-cell ablation matrix takes minutes or
+hours. It measures campaign throughput (jobs/s) and per-job dispatch
+overhead (p50/p99 settle latency) for both dispatch modes over a
+many-small-jobs campaign of trivially cheap probe cells, where the job
+body is ~free and *everything* measured is dispatcher + worker-lifecycle
+cost:
+
+* ``per-attempt`` — the legacy mode: a fresh supervised process per
+  attempt (fork + teardown every cell);
+* ``pooled`` — the warm-worker pool (:mod:`repro.fleet.pool`): processes
+  spawn once and loop over a duplex pipe.
+
+A second, chaos-hardened campaign re-runs the comparison under injected
+worker crashes and hangs (site ``fleet.worker.crash``) plus real
+crashing / hanging / flaky probe cells, and verifies the two modes
+produce **identical fleet outcomes** — same cached/computed/quarantined
+counts, same per-cell statuses, attempts and payloads. The injection
+rules are deliberately *order-independent* (they fire on the cell's
+value and attempt number, never on call counts or plan RNG draws), so
+the verdict is deterministic no matter how the modes interleave
+launches.
+
+The report (``BENCH_fleet.json``, schema ``repro-bench-fleet/1``) gives
+this and every future PR a dispatch-throughput trajectory;
+``check_fleet_report`` is the CI gate (pooled ≥ 1.5x per-attempt at
+smoke scale, identical outcomes in both campaigns).
+
+Like :mod:`repro.sim.bench`, this module is a deliberate exception to
+the DET001 wall-clock ban: throughput *is* wall-clock time, and nothing
+here feeds back into simulated state.
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+import time
+
+from repro.fleet.cache import ResultCache
+from repro.fleet.dispatcher import Fleet, FleetConfig
+from repro.fleet.jobs import ProbeSpec, canonical_json
+from repro.fleet.report import STATUS_COMPUTED, FleetReport
+from repro.inject.plan import FaultPlan
+
+SCHEMA = "repro-bench-fleet/1"
+
+#: The two supervised dispatch modes under comparison.
+MODES = ("per-attempt", "pooled")
+
+#: Cells whose value hits these residues (mod :data:`_INJECT_MOD`) get an
+#: injected crash / hang on their first attempt — order-independent, so
+#: both modes inject identically.
+_INJECT_MOD = 9
+_CRASH_RESIDUE = 3
+_HANG_RESIDUE = 6
+#: Every 37th-ish cell is flaky (fails once, then succeeds).
+_FLAKY_MOD = 37
+#: One always-crashing and one always-hanging cell: deterministic
+#: quarantines exercising the recycle path for real.
+_CRASH_VALUE = 13
+_HANG_VALUE = 77
+
+
+def _probe_value(context: dict) -> int:
+    """The cell value back out of a probe label (``probe:<behavior>/<n>``)."""
+    return int(context["label"].rsplit("/", 1)[1])
+
+
+def chaos_plan() -> FaultPlan:
+    """Order-independent injection: fires on (value, attempt) only."""
+    plan = FaultPlan(seed=0)
+    plan.worker_crash(
+        predicate=lambda ctx: ctx["attempt"] == 1
+        and _probe_value(ctx) % _INJECT_MOD == _CRASH_RESIDUE
+    )
+    plan.worker_crash(
+        hang=True,
+        predicate=lambda ctx: ctx["attempt"] == 1
+        and _probe_value(ctx) % _INJECT_MOD == _HANG_RESIDUE,
+    )
+    return plan
+
+
+def campaign_specs(jobs: int) -> list[ProbeSpec]:
+    """The many-small-jobs campaign: ``jobs`` trivially cheap ok-cells."""
+    return [ProbeSpec(value=n) for n in range(jobs)]
+
+
+def chaos_specs(jobs: int) -> list[ProbeSpec]:
+    """The chaos campaign: mostly ok-cells plus deterministic trouble."""
+    specs: list[ProbeSpec] = []
+    for n in range(jobs):
+        if n == _CRASH_VALUE:
+            specs.append(ProbeSpec(behavior="crash", value=n))
+        elif n == _HANG_VALUE:
+            specs.append(ProbeSpec(behavior="hang", hang_seconds=60.0, value=n))
+        elif n % _FLAKY_MOD == 5:
+            specs.append(ProbeSpec(behavior="flaky", succeed_after=2, value=n))
+        else:
+            specs.append(ProbeSpec(value=n))
+    return specs
+
+
+def outcome_signature(report: FleetReport) -> list[tuple]:
+    """The mode-independent fingerprint of a dispatch: every cell's
+    label, terminal status, attempt count, verdict and payload. Two
+    dispatch modes are *equivalent* iff their signatures match."""
+    return sorted(
+        (o.label, o.status, o.attempts, o.ok, canonical_json(o.payload or {}))
+        for o in report.outcomes
+    )
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending sample list."""
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+def _mode_config(
+    mode: str, workers: int, timeout: float, plan: FaultPlan | None
+) -> FleetConfig:
+    if mode not in MODES:
+        raise ValueError(f"unknown dispatch mode {mode!r} (known: {MODES})")
+    return FleetConfig(
+        workers=workers,
+        pool=(mode == "pooled"),
+        timeout=timeout,
+        # Retries should requeue immediately: backoff waits would measure
+        # the backoff schedule, not dispatch cost.
+        backoff_base=0.0,
+        backoff_cap=0.0,
+        fault_plan=plan,
+    )
+
+
+def _run_mode(
+    mode: str,
+    specs: list[ProbeSpec],
+    workers: int,
+    timeout: float,
+    plan: FaultPlan | None = None,
+) -> tuple[FleetReport, dict]:
+    """One campaign in one mode against a throwaway cache; report + stats."""
+    with tempfile.TemporaryDirectory(prefix=f"fleet-bench-{mode}-") as cache_dir:
+        fleet = Fleet(_mode_config(mode, workers, timeout, plan), ResultCache(cache_dir))
+        start = time.perf_counter()  # lint: allow[DET001] -- wall-clock throughput is the measurement
+        report = fleet.run(specs)
+        elapsed = time.perf_counter() - start  # lint: allow[DET001] -- ditto
+    settle_us = sorted(
+        o.seconds * 1e6 for o in report.outcomes if o.status == STATUS_COMPUTED
+    )
+    stats = {
+        "wall_seconds": round(elapsed, 6),
+        "jobs_per_second": round(report.jobs / elapsed, 1),
+        "dispatch_overhead": {
+            "p50_us": round(_percentile(settle_us, 50.0), 1),
+            "p99_us": round(_percentile(settle_us, 99.0), 1),
+        },
+        "computed": report.computed,
+        "cached": report.cached,
+        "quarantined": report.quarantined,
+        "retries": report.retries,
+        "timeouts": report.timeouts,
+        "crashes": report.crashes,
+        "errors": report.errors,
+        "injected_crashes": report.injected_crashes,
+        "injected_hangs": report.injected_hangs,
+        "worker_recycles": report.worker_recycles,
+    }
+    return report, stats
+
+
+def _compare_modes(
+    specs: list[ProbeSpec], workers: int, timeout: float, chaos: bool
+) -> dict:
+    """Both modes over one campaign: per-mode stats, speedup, equivalence."""
+    section: dict = {"jobs": len(specs)}
+    reports: dict[str, FleetReport] = {}
+    for mode in MODES:
+        plan = chaos_plan() if chaos else None
+        reports[mode], section[mode] = _run_mode(
+            mode, specs, workers, timeout, plan=plan
+        )
+    section["speedup"] = round(
+        section["pooled"]["jobs_per_second"]
+        / section["per-attempt"]["jobs_per_second"],
+        3,
+    )
+    section["outcomes_identical"] = outcome_signature(
+        reports["per-attempt"]
+    ) == outcome_signature(reports["pooled"])
+    return section
+
+
+def run_fleet_bench(
+    jobs: int = 240,
+    workers: int = 4,
+    timeout: float = 30.0,
+    chaos_timeout: float = 1.0,
+) -> dict:
+    """Run both campaigns and return the ``repro-bench-fleet/1`` report.
+
+    ``chaos_timeout`` is the per-attempt budget of the chaos campaign —
+    small, because its always-hanging cell must be killed (and, in pool
+    mode, its worker recycled) ``max_attempts`` times per mode.
+    """
+    return {
+        "schema": SCHEMA,
+        "jobs": jobs,
+        "workers": workers,
+        "campaign": _compare_modes(
+            campaign_specs(jobs), workers, timeout, chaos=False
+        ),
+        "chaos": _compare_modes(
+            chaos_specs(jobs), workers, chaos_timeout, chaos=True
+        ),
+    }
+
+
+def check_fleet_report(report: dict, min_speedup: float = 1.5) -> list[str]:
+    """Regression verdicts for ``--check`` / CI: the pool must beat
+    per-attempt dispatch by ``min_speedup`` on the clean campaign, and
+    both campaigns must be mode-equivalent."""
+    problems = []
+    campaign = report["campaign"]
+    if campaign["speedup"] < min_speedup:
+        problems.append(
+            f"campaign: pooled dispatch only {campaign['speedup']:.2f}x "
+            f"per-attempt (floor {min_speedup:g}x)"
+        )
+    if not campaign["outcomes_identical"]:
+        problems.append("campaign: pooled and per-attempt outcomes differ")
+    if not report["chaos"]["outcomes_identical"]:
+        problems.append(
+            "chaos: pooled and per-attempt outcomes differ under injection"
+        )
+    return problems

@@ -8,9 +8,18 @@ terminal state:
    (:func:`repro.fleet.jobs.job_key`); a verified cache entry is a
    ``cached`` outcome and costs nothing.
 2. **Supervised execution** — misses fan out across up to
-   ``workers`` child processes (:class:`~repro.fleet.supervisor.WorkerHandle`),
-   each with a wall-clock timeout and SIGTERM→SIGKILL escalation.
-   ``workers=0`` runs inline (tests, tiny sweeps).
+   ``workers`` child processes, each attempt with a wall-clock timeout
+   and SIGTERM→SIGKILL escalation. By default the workers are a
+   **persistent warm pool** (:class:`~repro.fleet.pool.WorkerPool`):
+   long-lived processes that import once and then loop pulling jobs over
+   a duplex pipe, with a timed-out or crashed worker killed and
+   *recycled* (a fresh process takes over the slot). ``pool=False``
+   restores the legacy one-fresh-process-per-attempt mode
+   (:class:`~repro.fleet.supervisor.WorkerHandle`); ``workers=0`` runs
+   inline (tests, tiny sweeps). Either way the dispatcher sleeps
+   **event-driven** — :func:`multiprocessing.connection.wait` over every
+   running worker's pipe/sentinel with the earliest deadline as the
+   timeout — never on a fixed poll interval.
 3. **Bounded retries** — a failed attempt (error, crash, timeout)
    requeues with exponential backoff plus deterministic jitter (the
    backoff shape of :class:`~repro.mitosis.daemon.MitosisDaemon`, in
@@ -39,11 +48,14 @@ import random
 import time
 import zlib
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from pathlib import Path
 from typing import Callable
 
 from repro._version import __version__
 from repro.fleet.cache import ResultCache
 from repro.fleet.jobs import JobSpecLike, job_key
+from repro.fleet.pool import WorkerPool
 from repro.fleet.report import (
     STATUS_CACHED,
     STATUS_COMPUTED,
@@ -76,6 +88,10 @@ class FleetConfig:
 
     #: Concurrent worker processes; 0 = run jobs inline in this process.
     workers: int = 2
+    #: Dispatch through the persistent warm-worker pool (default). False
+    #: restores the legacy fresh-process-per-attempt mode. Irrelevant
+    #: when ``workers=0``.
+    pool: bool = True
     #: Per-attempt wall-clock budget before the SIGKILL escalation.
     timeout: float = 60.0
     #: SIGTERM → SIGKILL grace, and how long to wait for a clean exit.
@@ -97,7 +113,9 @@ class FleetConfig:
     trace_dir: str | None = None
     #: Self-hosting chaos: consulted at ``fleet.worker.crash`` per launch.
     fault_plan: FaultPlan | None = None
-    #: Main-loop poll cadence in seconds.
+    #: Defensive fallback sleep only: the main loop is event-driven
+    #: (``multiprocessing.connection.wait``), so this no longer quantizes
+    #: attempt-settlement latency.
     poll_interval: float = 0.005
 
 
@@ -120,6 +138,8 @@ class Fleet:
     def __init__(self, config: FleetConfig, cache: ResultCache):
         self.config = config
         self.cache = cache
+        #: Per-run trace-bundle directory (created once per ``run``).
+        self._trace_root: Path | None = None
 
     # -- public entry ----------------------------------------------------------
 
@@ -136,6 +156,10 @@ class Fleet:
         """
         config = self.config
         report = FleetReport(engine=config.engine, code_version=config.code_version)
+        if config.workers == 0:
+            report.dispatch_mode = "inline"
+        else:
+            report.dispatch_mode = "pooled" if config.pool else "per-attempt"
         session = current_session()
         start = _now()
         if session is None:
@@ -179,28 +203,68 @@ class Fleet:
                 )
             )
 
-        running: list[tuple[_JobState, WorkerHandle]] = []
+        # One syscall per run, not per launch: the per-job trace bundle
+        # directory is created here and only joined against below.
+        self._trace_root = None
+        if config.trace_dir and config.workers > 0:
+            self._trace_root = Path(config.trace_dir)
+            self._trace_root.mkdir(parents=True, exist_ok=True)
+
+        pool: WorkerPool | None = None
+        if config.workers > 0 and config.pool and pending:
+            pool = WorkerPool(
+                size=min(config.workers, len(pending)), grace=config.grace
+            )
+        running: list[tuple[_JobState, object]] = []
         try:
             while pending or running:
-                launched = self._launch_eligible(pending, running, report, progress)
+                launched = self._launch_eligible(
+                    pending, running, pool, report, progress
+                )
                 settled = self._poll_running(running, pending, report, progress)
                 if not launched and not settled:
-                    time.sleep(config.poll_interval)
+                    self._wait_for_event(pending, running)
         except KeyboardInterrupt:
             # Graceful shutdown: drain anything already finished (their
             # results are checkpointed in the cache), kill the rest.
             self._poll_running(running, pending, report, progress=None)
             for _, handle in running:
-                handle.stop()
-                handle.close()
+                handle.abort()
             report.interrupted = True
+        finally:
+            if pool is not None:
+                pool.close()
+                report.worker_recycles = pool.recycles
 
-    def _launch_eligible(self, pending, running, report, progress) -> bool:
+    def _wait_for_event(self, pending, running) -> None:
+        """Sleep until something can change: a worker pipe/sentinel fires,
+        the earliest attempt deadline passes, or the earliest backoff
+        window opens. Event-driven in every mode — settlement latency is
+        bounded by the OS wakeup, not a poll quantum."""
+        now = _now()
+        timeout = None
+        for state in pending:
+            if state.not_before > now:
+                remaining = state.not_before - now
+                timeout = remaining if timeout is None else min(timeout, remaining)
+        for _, handle in running:
+            remaining = handle.deadline - now
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        objects = [obj for _, handle in running for obj in handle.wait_objects]
+        if objects:
+            mp_connection.wait(objects, max(timeout, 0.0) if timeout is not None else None)
+        elif timeout is not None:
+            time.sleep(max(timeout, 0.0))  # lint: allow[DET001] -- backoff windows are real time
+        else:  # pragma: no cover - defensive: nothing to wait on
+            time.sleep(self.config.poll_interval)  # lint: allow[DET001] -- ditto
+
+    def _launch_eligible(self, pending, running, pool, report, progress) -> bool:
         """Start (or inline-run) every eligible pending job; True if any."""
         config = self.config
         launched = False
         now = _now()
-        capacity = max(config.workers, 1) - len(running)
+        slots = pool.size if pool is not None else max(config.workers, 1)
+        capacity = slots - len(running)
         index = 0
         while index < len(pending) and (config.workers == 0 or capacity > 0):
             state = pending[index]
@@ -218,18 +282,28 @@ class Fleet:
                 outcome = run_attempt_inline(state.spec, state.attempts)
                 self._settle_attempt(state, outcome, pending, report, progress)
                 continue
-            running.append(
-                (
-                    state,
-                    WorkerHandle(
-                        state.spec,
-                        state.attempts,
-                        timeout=config.timeout,
-                        grace=config.grace,
-                        trace_path=self._trace_path(state),
-                    ),
+            if pool is not None:
+                worker = pool.idle_worker()
+                worker.submit(
+                    state.spec,
+                    state.attempts,
+                    timeout=config.timeout,
+                    trace_path=self._trace_path(state),
                 )
-            )
+                running.append((state, worker))
+            else:
+                running.append(
+                    (
+                        state,
+                        WorkerHandle(
+                            state.spec,
+                            state.attempts,
+                            timeout=config.timeout,
+                            grace=config.grace,
+                            trace_path=self._trace_path(state),
+                        ),
+                    )
+                )
             capacity -= 1
         return launched
 
@@ -243,7 +317,7 @@ class Fleet:
             if outcome is None:
                 index += 1
                 continue
-            handle.close()
+            handle.release()  # pool: slot stays warm; per-attempt: pipe closed
             running.pop(index)
             settled = True
             # Requeue-or-terminal goes through the same path as inline.
@@ -384,11 +458,8 @@ class Fleet:
             progress(report, outcome)
 
     def _trace_path(self, state: _JobState) -> str | None:
-        trace_dir = self.config.trace_dir
-        if not trace_dir:
+        if self._trace_root is None:
             return None
-        from pathlib import Path
-
-        directory = Path(trace_dir)
-        directory.mkdir(parents=True, exist_ok=True)
-        return str(directory / f"{state.key}.attempt{state.attempts}.trace.json")
+        return str(
+            self._trace_root / f"{state.key}.attempt{state.attempts}.trace.json"
+        )

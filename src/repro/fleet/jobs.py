@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Iterable, Protocol
 
 from repro._version import __version__
+from repro.sim.bench import SCENARIOS as BENCH_SCENARIOS
 from repro.sim.bench import BenchSpec
 from repro.sim.chaos import SCENARIOS as CHAOS_SCENARIOS
 from repro.sim.chaos import ChaosSpec
@@ -68,7 +69,11 @@ class ProbeSpec:
       (the transient-fault shape bounded retries exist for);
     * ``crash`` — ``os._exit`` without a result (a worker crash);
     * ``hang`` — sleep past any reasonable timeout (a hung worker the
-      supervisor must SIGKILL).
+      supervisor must SIGKILL);
+    * ``stubborn`` — install a SIGTERM-ignoring handler, then hang: the
+      worst-case worker that survives the polite kill, proving the
+      supervisor's SIGTERM→SIGKILL escalation. Worker mode only — inline
+      it would rebind the dispatcher process's own SIGTERM handler.
     """
 
     behavior: str = "ok"
@@ -77,7 +82,7 @@ class ProbeSpec:
     value: int = 0
     kind = "probe"
 
-    BEHAVIORS = ("ok", "fail", "flaky", "crash", "hang")
+    BEHAVIORS = ("ok", "fail", "flaky", "crash", "hang", "stubborn")
 
     def __post_init__(self) -> None:
         if self.behavior not in self.BEHAVIORS:
@@ -118,6 +123,11 @@ class ProbeSpec:
     def run(self, attempt: int = 1) -> dict:
         if self.behavior == "crash":
             os._exit(23)  # simulate a worker dying without a result
+        if self.behavior == "stubborn":
+            import signal
+
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            time.sleep(self.hang_seconds)
         if self.behavior == "hang":
             time.sleep(self.hang_seconds)
         if self.behavior == "fail" or (
@@ -189,6 +199,24 @@ def chaos_grid(
         for name in names
         for seed in seeds
         for intensity in intensities
+    ]
+
+
+def bench_grid(
+    scenarios: Iterable[str] | None = None,
+    accesses: int = 6_000,
+    repeat: int = 1,
+) -> list[BenchSpec]:
+    """The bench-kind campaign: one perf-measurement cell per scenario.
+
+    This is the ``fleet bench`` preset CI's perf-smoke job runs — the
+    engine-equivalence verdicts of :class:`~repro.sim.bench.BenchSpec`
+    fanned through the supervised fleet.
+    """
+    names = list(scenarios) if scenarios is not None else list(BENCH_SCENARIOS)
+    return [
+        BenchSpec(scenario=name, accesses=accesses, repeat=repeat)
+        for name in names
     ]
 
 

@@ -84,6 +84,13 @@ class FleetReport:
     outcomes: list[JobOutcome] = field(default_factory=list)
     engine: str = "vector"
     code_version: str = ""
+    #: How attempts ran: ``inline`` (workers=0), ``pooled`` (warm-worker
+    #: pool) or ``per-attempt`` (fresh process per attempt); ``mixed``
+    #: after merging shards that disagree.
+    dispatch_mode: str = ""
+    #: Pool mode only: worker processes killed and replaced (timeout,
+    #: crash, or idle death).
+    worker_recycles: int = 0
     #: Non-terminal bookkeeping: attempts beyond each cell's first.
     retries: int = 0
     timeouts: int = 0
@@ -133,6 +140,11 @@ class FleetReport:
     def merge(self, other: "FleetReport") -> "FleetReport":
         """Fold another shard's report into this one (self is mutated)."""
         self.outcomes.extend(other.outcomes)
+        if not self.dispatch_mode:
+            self.dispatch_mode = other.dispatch_mode
+        elif other.dispatch_mode and other.dispatch_mode != self.dispatch_mode:
+            self.dispatch_mode = "mixed"
+        self.worker_recycles += other.worker_recycles
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.crashes += other.crashes
@@ -196,6 +208,8 @@ class FleetReport:
             "schema": REPORT_SCHEMA,
             "engine": self.engine,
             "code_version": self.code_version,
+            "dispatch_mode": self.dispatch_mode,
+            "worker_recycles": self.worker_recycles,
             "jobs": self.jobs,
             "cached": self.cached,
             "computed": self.computed,
@@ -219,6 +233,8 @@ class FleetReport:
             outcomes=[JobOutcome.from_dict(o) for o in data.get("outcomes", [])],
             engine=data.get("engine", "vector"),
             code_version=data.get("code_version", ""),
+            dispatch_mode=data.get("dispatch_mode", ""),
+            worker_recycles=int(data.get("worker_recycles", 0)),
             retries=int(data.get("retries", 0)),
             timeouts=int(data.get("timeouts", 0)),
             crashes=int(data.get("crashes", 0)),
@@ -238,11 +254,13 @@ class FleetReport:
         lines = [
             f"fleet report: {self.jobs} job(s) — {self.cached} cached, "
             f"{self.computed} computed, {self.quarantined} quarantined"
+            + (f" [{self.dispatch_mode}]" if self.dispatch_mode else "")
             + (" [INTERRUPTED]" if self.interrupted else ""),
             f"  retries {self.retries}, timeouts {self.timeouts}, "
             f"crashes {self.crashes}, errors {self.errors}, "
             f"injected {self.injected_crashes} crash(es) / "
-            f"{self.injected_hangs} hang(s)",
+            f"{self.injected_hangs} hang(s), "
+            f"{self.worker_recycles} worker recycle(s)",
             f"  cache: {self.cache.get('hits', 0)} hit(s), "
             f"{self.cache.get('misses', 0)} miss(es), "
             f"{self.cache.get('corrupt_evicted', 0)} corrupt entr(ies) evicted",

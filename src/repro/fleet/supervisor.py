@@ -55,32 +55,40 @@ def _now() -> float:
     return time.monotonic()  # lint: allow[DET001] -- supervision timeouts are real time
 
 
-def _worker_entry(spec_dict: dict, attempt: int, conn, trace_path: str | None) -> None:
-    """Child-process body: run the job, report over the pipe, exit.
+def execute_job(spec_dict: dict, attempt: int, trace_path: str | None) -> dict:
+    """Run one job body and return its payload (raises on job error).
 
-    With ``trace_path`` set, the whole job runs under its own
+    With ``trace_path`` set, the job runs under its own fresh
     :class:`~repro.trace.session.TraceSession` whose Chrome export lands
-    at that path — the per-job trace bundle of a fleet run.
+    at that path — the per-job trace bundle of a fleet run. The session
+    is opened and closed *per job*, so a long-lived pool worker
+    (:mod:`repro.fleet.pool`) produces exactly the same bundles as a
+    fresh per-attempt process.
     """
     from contextlib import nullcontext
 
     from repro.trace.session import TraceSession, tracing
     from repro.trace.sinks import ChromeTraceSink
 
+    spec = spec_from_dict(spec_dict)
+    if trace_path:
+        sink = ChromeTraceSink(trace_path)
+        session = TraceSession(
+            sinks=[sink],
+            metadata={"fleet-job": spec.label(), "attempt": attempt},
+        )
+        sink.open_session(session)
+        scope = tracing(session)
+    else:
+        scope = nullcontext()
+    with scope:
+        return spec.run(attempt=attempt)
+
+
+def _worker_entry(spec_dict: dict, attempt: int, conn, trace_path: str | None) -> None:
+    """Child-process body: run the job, report over the pipe, exit."""
     try:
-        spec = spec_from_dict(spec_dict)
-        if trace_path:
-            sink = ChromeTraceSink(trace_path)
-            session = TraceSession(
-                sinks=[sink],
-                metadata={"fleet-job": spec.label(), "attempt": attempt},
-            )
-            sink.open_session(session)
-            scope = tracing(session)
-        else:
-            scope = nullcontext()
-        with scope:
-            payload = spec.run(attempt=attempt)
+        payload = execute_job(spec_dict, attempt, trace_path)
         conn.send({"status": OUTCOME_OK, "payload": payload})
     except BaseException as exc:  # noqa: BLE001 - the report *is* the handler
         try:
@@ -124,6 +132,18 @@ class WorkerHandle:
 
     def elapsed(self) -> float:
         return _now() - self.started
+
+    @property
+    def deadline(self) -> float:
+        """Absolute monotonic time at which this attempt times out."""
+        return self.started + self.timeout
+
+    @property
+    def wait_objects(self) -> tuple:
+        """Objects for :func:`multiprocessing.connection.wait`: the result
+        pipe (readable on report *and* on EOF when the child dies) plus
+        the process sentinel, so the dispatcher wakes on either."""
+        return (self._recv, self.process.sentinel)
 
     def poll(self) -> AttemptOutcome | None:
         """Non-blocking check; an outcome once the attempt is decided.
@@ -196,6 +216,17 @@ class WorkerHandle:
             self._recv.close()
         except OSError:  # pragma: no cover
             pass
+
+    def release(self) -> None:
+        """Dispatcher hook after a settled attempt: per-attempt workers
+        are single-use, so releasing just closes the pipe (the pool's
+        counterpart keeps the worker warm instead)."""
+        self.close()
+
+    def abort(self) -> None:
+        """Dispatcher hook on interrupt: kill and clean up."""
+        self.stop()
+        self.close()
 
 
 def run_attempt_inline(spec: JobSpecLike, attempt: int) -> AttemptOutcome:

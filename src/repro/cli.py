@@ -19,6 +19,8 @@ sub-commands for the experiment harnesses, the analysis tools, the chaos
     python -m repro fleet sweep --workloads gups,btree --seeds 1234
     python -m repro fleet bench --accesses 6000 --no-pool
     python -m repro lint --format json
+    python -m repro lint --whole-program --jobs 4 --changed
+    python -m repro lint --explain
     python -m repro trace --out trace.json chaos --scenario replication-oom
     python -m repro perf --accesses 50000 --out BENCH_engine.json
     python -m repro perf --fleet --check
@@ -221,19 +223,35 @@ def _add_lint_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--whole-program", action="store_true",
         help="also build the project call graph and run the cross-module "
-        "protocol rules (TLBGEN001/TLBGEN002, SHOOT001, PROV001, SPAN001) "
-        "and the interprocedural dataflow rules (DETFLOW001/DETFLOW002, "
-        "RES001/RES002)",
+        "protocol rules (TLBGEN001/TLBGEN002, SHOOT001, PROV001, SPAN001), "
+        "the interprocedural dataflow rules (DETFLOW001/DETFLOW002, "
+        "RES001/RES002) and the concurrency rules (FORK001/FORK002, "
+        "SIG001, PIPE001/PIPE002)",
     )
     parser.add_argument(
-        "--explain", default=None, metavar="RULE",
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard the analysis across N forked worker processes "
+        "(findings stay byte-identical to serial; 0 = auto-size from "
+        "the CPU count; default: 1)",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="only report findings in files touched relative to REF "
+        "(default HEAD) plus their reverse call-graph dependents; a fast "
+        "development filter, not a gate — cross-file marker pairings can "
+        "escape the closure (see docs/static-analysis.md)",
+    )
+    parser.add_argument(
+        "--explain", nargs="?", const="", default=None, metavar="RULE",
         help="print the full rationale for one rule (what it flags, which "
-        "wrappers are sanctioned, how to suppress) and exit",
+        "wrappers are sanctioned, how to suppress) and exit; with no RULE, "
+        "print the whole rule catalog",
     )
     parser.add_argument(
         "--stats", default=None, metavar="FILE",
-        help="write dataflow-engine statistics (modules analyzed, summary "
-        "cache hits/misses) to FILE as JSON",
+        help="write run statistics to FILE as JSON: dataflow-engine "
+        "counters (modules analyzed, summary cache hits/misses) plus the "
+        "wall-clock phase breakdown under 'timings'",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -574,6 +592,41 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+#: Rule-module suffix -> human-readable analysis layer, for --explain.
+_RULE_LAYERS = {
+    "rules_pvops": "per-file",
+    "rules_determinism": "per-file",
+    "rules_fault": "per-file",
+    "rules_protocol": "protocol",
+    "dataflow": "dataflow",
+    "concurrency": "concurrency",
+}
+
+
+def _rule_layer(cls: type) -> str:
+    return _RULE_LAYERS.get(cls.__module__.rsplit(".", 1)[-1], "per-file")
+
+
+def _explain_catalog() -> int:
+    """``repro lint --explain`` (no rule): the full catalog — every
+    registered rule's id, analysis layer and one-line summary."""
+    from repro.lint.core import RULE_REGISTRY, WHOLE_PROGRAM_REGISTRY
+
+    rows = [
+        (name, _rule_layer(cls), " ".join(cls.description.split()))
+        for name, cls in sorted(
+            list(RULE_REGISTRY.items()) + list(WHOLE_PROGRAM_REGISTRY.items())
+        )
+    ]
+    width = max(len(name) for name, _, _ in rows)
+    layer_width = max(len(layer) for _, layer, _ in rows)
+    for name, layer, summary in rows:
+        print(f"{name:<{width}}  {layer:<{layer_width}}  {summary}")
+    print()
+    print(f"{len(rows)} rule(s); 'repro lint --explain RULE' for the full rationale")
+    return 0
+
+
 def _explain_rule(name: str) -> int:
     """``repro lint --explain RULE``: print one rule's full rationale —
     description, docstring (what it flags, sanctioned wrappers, how to
@@ -582,6 +635,8 @@ def _explain_rule(name: str) -> int:
 
     from repro.lint.core import RULE_REGISTRY, WHOLE_PROGRAM_REGISTRY
 
+    if not name:
+        return _explain_catalog()
     cls = RULE_REGISTRY.get(name) or WHOLE_PROGRAM_REGISTRY.get(name)
     if cls is None:
         known = ", ".join(sorted(set(RULE_REGISTRY) | set(WHOLE_PROGRAM_REGISTRY)))
@@ -617,7 +672,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
     from repro.lint.baseline import default_baseline_path
 
-    if args.explain:
+    if args.explain is not None:
         return _explain_rule(args.explain)
 
     if args.paths:
@@ -633,20 +688,50 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         cache_dir = Path(args.cache_dir)
     else:
         cache_dir = default_cache_dir()
+    jobs = args.jobs
+    if jobs <= 0:
+        from repro.lint.parallel import default_jobs
+
+        jobs = default_jobs()
+    scope = None
+    if args.changed is not None:
+        from repro.lint.changed import changed_scope
+        from repro.lint.core import iter_python_files
+
+        all_files = list(iter_python_files(paths))
+        scoped = changed_scope(all_files, ref=args.changed)
+        if scoped is None:
+            print(
+                f"--changed: cannot resolve {args.changed!r} in a git "
+                "work-tree; linting everything",
+                file=sys.stderr,
+            )
+        else:
+            scope, touched = scoped
+            print(
+                f"--changed {args.changed}: {len(touched)} touched file(s), "
+                f"reporting on {len(scope)} (with reverse dependents)",
+                file=sys.stderr,
+            )
     try:
         result = lint_paths(
             paths,
             rules=rules,
             whole_program=args.whole_program,
             dataflow_cache_dir=cache_dir,
+            jobs=jobs,
         )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    if scope is not None:
+        result.findings = [f for f in result.findings if f.path in scope]
 
     if args.stats:
+        stats = dict(result.dataflow_stats or {})
+        stats["timings"] = result.timings
         Path(args.stats).write_text(
-            _json.dumps(result.dataflow_stats or {}, indent=2, sort_keys=True)
+            _json.dumps(stats, indent=2, sort_keys=True)
         )
 
     baseline_path = Path(args.baseline) if args.baseline else default_baseline_path()

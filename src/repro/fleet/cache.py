@@ -57,6 +57,9 @@ def payload_checksum(payload: dict) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+# concurrency: not-fork-inheritable -- writes tmp files + fsync through one
+# directory handle; only the dispatcher process may publish entries. Workers
+# report results over the pipe and the parent writes the cache.
 class ResultCache:
     """Directory of checksummed result entries, one file per job key.
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import signal
 import time
+from multiprocessing.connection import Connection
 
 from repro.fleet.jobs import JobSpecLike
 from repro.fleet.supervisor import (
@@ -54,7 +55,9 @@ def _now() -> float:
     return time.monotonic()  # lint: allow[DET001] -- supervision timeouts are real time
 
 
-def _pool_worker_main(conn) -> None:
+# protocol: receives[job] -- pulls job messages off the duplex pipe
+# protocol: sends[result] -- streams one result message back per job
+def _pool_worker_main(conn: Connection) -> None:
     """Child-process body: loop pulling job messages, streaming results.
 
     The loop exits on a ``shutdown`` message, on pipe EOF (the parent
@@ -130,6 +133,7 @@ class PoolWorker:
 
     # -- lease ----------------------------------------------------------------
 
+    # protocol: sends[job] -- leases the slot: one job message down the pipe
     def submit(
         self,
         spec: JobSpecLike,
@@ -217,6 +221,7 @@ class PoolWorker:
             )
         return None
 
+    # protocol: receives[result] -- drains one result message, if ready
     def _try_recv(self) -> dict | None:
         try:
             if self.conn.poll():

@@ -26,6 +26,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
+from multiprocessing.connection import Connection
 
 from repro.fleet.jobs import JobSpecLike, spec_from_dict
 
@@ -85,7 +86,10 @@ def execute_job(spec_dict: dict, attempt: int, trace_path: str | None) -> dict:
         return spec.run(attempt=attempt)
 
 
-def _worker_entry(spec_dict: dict, attempt: int, conn, trace_path: str | None) -> None:
+# protocol: sends[result] -- reports exactly one result message, then exits
+def _worker_entry(
+    spec_dict: dict, attempt: int, conn: Connection, trace_path: str | None
+) -> None:
     """Child-process body: run the job, report over the pipe, exit."""
     try:
         payload = execute_job(spec_dict, attempt, trace_path)
@@ -179,6 +183,7 @@ class WorkerHandle:
             )
         return None
 
+    # protocol: receives[result] -- drains the child's one report, if ready
     def _try_recv(self) -> dict | None:
         try:
             if self._recv.poll():

@@ -13,13 +13,18 @@ This package is that tooling, in two halves:
   rules (``TLBGEN001``/``TLBGEN002``, ``SHOOT001``, ``PROV001``,
   ``SPAN001``) that combine a project call graph
   (:mod:`repro.lint.callgraph`) with per-function CFG reachability
-  (:mod:`repro.lint.flow`), and interprocedural dataflow rules
+  (:mod:`repro.lint.flow`), interprocedural dataflow rules
   (``DETFLOW001``/``DETFLOW002`` determinism taint, ``RES001``/``RES002``
   resource lifecycles) solved by :mod:`repro.lint.dataflow` with an
-  incremental, content-hash-keyed summary cache; run via
+  incremental, content-hash-keyed summary cache, and concurrency /
+  process-lifecycle rules (``FORK001``/``FORK002`` fork-safety,
+  ``SIG001`` signal-handler safety, ``PIPE001``/``PIPE002`` pipe
+  typestates — :mod:`repro.lint.concurrency`); run via
   ``python -m repro.cli lint`` (``--whole-program`` for the cross-module
-  pass) and gated in CI against a committed baseline
-  (:mod:`repro.lint.baseline`);
+  pass, ``--jobs N`` to shard across forked workers
+  (:mod:`repro.lint.parallel`), ``--changed [REF]`` to scope reporting
+  to a diff (:mod:`repro.lint.changed`)) and gated in CI against a
+  committed baseline (:mod:`repro.lint.baseline`);
 * **dynamic**: :class:`repro.lint.sanitizer.PTESanitizer`, a debug-mode
   guard around :class:`~repro.paging.pagetable.PageTablePage` entries
   that records writer provenance and raises on any store that does not
@@ -51,12 +56,14 @@ from repro.lint.core import (
     rule_names,
     whole_program_rule_names,
 )
+from repro.lint.changed import changed_files, changed_scope, dependent_closure
 from repro.lint.dataflow import (
     ProjectDataflow,
     SummaryCache,
     default_cache_dir,
     get_dataflow,
 )
+from repro.lint.parallel import default_jobs, fork_map
 from repro.lint.report import render_json, render_sarif, render_text
 
 __all__ = [
@@ -69,9 +76,14 @@ __all__ = [
     "Rule",
     "SummaryCache",
     "WholeProgramRule",
+    "changed_files",
+    "changed_scope",
     "clear_parse_cache",
     "default_cache_dir",
+    "default_jobs",
+    "dependent_closure",
     "filter_baseline",
+    "fork_map",
     "get_dataflow",
     "iter_python_files",
     "lint_paths",

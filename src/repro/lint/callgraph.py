@@ -42,6 +42,22 @@ return must be deterministic), and ``sanitizes[nondet]`` (a sanctioned
 wrapper — e.g. the virtual clock — whose result is deterministic by
 contract even though it smells like time). Both prefixes parse into the
 same :class:`Marker` records.
+
+The concurrency layer (:mod:`repro.lint.concurrency`) adds two more
+pieces of vocabulary:
+
+* ``sends[k]``/``receives[k]`` verbs (usually under the ``# protocol:``
+  prefix) declare the two halves of a cross-process message protocol —
+  the pool's ``sends[job]`` must have a ``receives[job]`` peer somewhere
+  in the linted project, extending the PR-5 pairing discipline across
+  the process boundary;
+* bracket-less **flags** — ``# concurrency: not-fork-inheritable`` on a
+  class whose instances hold live OS state (open pipes, file handles)
+  that must not be captured by a ``Process(target=...)`` closure, and
+  ``# concurrency: signal-safe`` on a function adjudicated safe to call
+  from a signal handler. Flags attach to a ``def`` *or* ``class`` line
+  exactly like markers and land in ``FunctionInfo.flags`` /
+  ``ClassInfo.flags``.
 """
 
 from __future__ import annotations
@@ -54,9 +70,17 @@ from repro.lint.core import ParsedModule
 from repro.lint.flow import executed_exprs, iter_statements
 
 _MARKER_RE = re.compile(
-    r"#\s*(?:protocol|dataflow):\s*"
-    r"(?P<verb>mutates|begins|defers|settles|ends|source|sink|sanitizes)"
+    r"#\s*(?:protocol|dataflow|concurrency):\s*"
+    r"(?P<verb>mutates|begins|defers|settles|ends|source|sink|sanitizes"
+    r"|sends|receives)"
     r"\[(?P<keys>[A-Za-z0-9_\-,\s]+)\]"
+    r"(?:\s*--\s*(?P<why>\S.*))?"
+)
+
+#: Bracket-less concurrency flags on a ``def`` or ``class`` line (or the
+#: comment lines directly above): adjudicated facts, not obligations.
+_FLAG_RE = re.compile(
+    r"#\s*concurrency:\s*(?P<flag>not-fork-inheritable|signal-safe)"
     r"(?:\s*--\s*(?P<why>\S.*))?"
 )
 
@@ -76,7 +100,9 @@ _DICT_HEADS = frozenset({"dict", "Dict", "Mapping", "MutableMapping"})
 class Marker:
     """One parsed ``# protocol:`` annotation on a function."""
 
-    verb: str  # mutates | begins | defers | settles | ends | source | sink | sanitizes
+    #: mutates | begins | defers | settles | ends | source | sink |
+    #: sanitizes | sends | receives
+    verb: str
     key: str
     lineno: int
 
@@ -102,6 +128,8 @@ class FunctionInfo:
     name: str
     node: ast.FunctionDef | ast.AsyncFunctionDef
     markers: list[Marker] = field(default_factory=list)
+    #: Concurrency flags (``signal-safe``, ...) on the def line.
+    flags: set[str] = field(default_factory=set)
     calls: list[CallSite] = field(default_factory=list)
 
     @property
@@ -126,6 +154,8 @@ class ClassInfo:
     bases: list[str]  # simple base-class names
     methods: dict[str, FunctionInfo] = field(default_factory=dict)
     attr_types: dict[str, tuple] = field(default_factory=dict)
+    #: Concurrency flags (``not-fork-inheritable``, ...) on the class line.
+    flags: set[str] = field(default_factory=set)
 
 
 @dataclass
@@ -279,11 +309,12 @@ def _element_type(container: tuple | None) -> tuple | None:
 # -- index construction -------------------------------------------------------
 
 
-def _collect_markers(
-    node: ast.FunctionDef | ast.AsyncFunctionDef, source_lines: list[str]
-) -> list[Marker]:
-    """Markers on the def line or comment lines directly above it (above
-    the decorators, if any)."""
+def _annotation_lines(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef,
+    source_lines: list[str],
+) -> list[int]:
+    """The def/class line plus comment lines directly above it (above the
+    decorators, if any) — where markers and flags may sit."""
     lines_to_scan: list[int] = [node.lineno]
     first = min([d.lineno for d in node.decorator_list] + [node.lineno])
     lineno = first - 1
@@ -293,10 +324,16 @@ def _collect_markers(
             break
         lines_to_scan.append(lineno)
         lineno -= 1
+    return [n for n in lines_to_scan if 1 <= n <= len(source_lines)]
+
+
+def _collect_markers(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, source_lines: list[str]
+) -> list[Marker]:
+    """Markers on the def line or comment lines directly above it (above
+    the decorators, if any)."""
     markers: list[Marker] = []
-    for lineno in lines_to_scan:
-        if not 1 <= lineno <= len(source_lines):
-            continue
+    for lineno in _annotation_lines(node, source_lines):
         match = _MARKER_RE.search(source_lines[lineno - 1])
         if match is None:
             continue
@@ -307,6 +344,19 @@ def _collect_markers(
                     Marker(verb=match.group("verb"), key=key, lineno=lineno)
                 )
     return markers
+
+
+def _collect_flags(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef,
+    source_lines: list[str],
+) -> set[str]:
+    """Concurrency flags on the def/class line or the comments above."""
+    flags: set[str] = set()
+    for lineno in _annotation_lines(node, source_lines):
+        match = _FLAG_RE.search(source_lines[lineno - 1])
+        if match is not None:
+            flags.add(match.group("flag"))
+    return flags
 
 
 class _Typer:
@@ -470,6 +520,7 @@ def build_index(modules: list[ParsedModule]) -> ProjectIndex:
                     module=parsed.module,
                     path=parsed.path,
                     bases=[b for b in bases if b],
+                    flags=_collect_flags(node, parsed.source_lines),
                 )
                 index.classes[cls_info.qualname] = cls_info
                 index.class_by_name.setdefault(node.name, []).append(cls_info)
@@ -531,6 +582,7 @@ def _add_function(
         name=node.name,
         node=node,
         markers=_collect_markers(node, parsed.source_lines),
+        flags=_collect_flags(node, parsed.source_lines),
     )
     index.functions[fn.qualname] = fn
     index.by_basename.setdefault(node.name, []).append(fn)

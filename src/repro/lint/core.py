@@ -84,6 +84,12 @@ class LintResult:
     #: (modules, functions, summary_hits, summary_misses, cache_dir);
     #: ``None`` when no dataflow rule ran.
     dataflow_stats: dict | None = None
+    #: Wall-clock phase breakdown in seconds (parse, per_file, index,
+    #: dataflow, whole_program, total) plus the shard count under
+    #: ``jobs``; ``None`` for entry points that don't time themselves
+    #: (:func:`lint_source`). Timings never feed the findings or the
+    #: SARIF output, so ``--jobs N`` stays byte-identical to serial.
+    timings: dict | None = None
 
     def extend(self, other: "LintResult") -> None:
         self.findings.extend(other.findings)
@@ -484,12 +490,20 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
     yield from sorted(set(seen))
 
 
+def _clock() -> float:
+    """Wall clock for the ``--stats`` phase breakdown only."""
+    import time
+
+    return time.perf_counter()  # lint: allow[DET001] -- phase timings are real time
+
+
 def lint_paths(
     paths: Iterable[Path | str],
     rules: Iterable[str] | None = None,
     *,
     whole_program: bool = False,
     dataflow_cache_dir: Path | str | None = None,
+    jobs: int = 1,
 ) -> LintResult:
     """Lint every python file under ``paths``.
 
@@ -501,7 +515,17 @@ def lint_paths(
     summary cache (per-module IR keyed by content hash — see
     :mod:`repro.lint.dataflow`). ``None`` analyzes in memory only; the
     CLI passes :func:`repro.lint.dataflow.default_cache_dir` by default.
+
+    ``jobs`` shards the three parallel phases — per-file rule visits,
+    dataflow IR extraction, and the whole-program rule sweep — across
+    that many forked workers (:mod:`repro.lint.parallel`). Workers
+    inherit the parsed ASTs and the project index through copy-on-write
+    memory and send back only findings, so results are byte-identical to
+    ``jobs=1``; parsing, cache publication, the interprocedural summary
+    solve, and suppression handling stay in this process.
     """
+    from repro.lint.parallel import fork_map
+
     per_file_selected, whole_selected = split_rule_names(rules)
     if whole_selected is None:
         whole_selected = list(whole_program_rule_names()) if whole_program else []
@@ -509,6 +533,8 @@ def lint_paths(
     result = LintResult(
         rules_run=tuple(cls.name for cls in rule_classes) + tuple(whole_selected or ())
     )
+    timings: dict = {"jobs": jobs}
+    started = _clock()
     parsed_modules: list[ParsedModule] = []
     for file_path in iter_python_files(Path(p) for p in paths):
         result.files_checked += 1
@@ -520,22 +546,63 @@ def lint_paths(
             )
             continue
         parsed_modules.append(parsed)
-        findings = _run_rules(parsed, rule_classes)
-        result.findings.extend(
-            apply_suppressions(findings, parsed.source_lines, parsed.path)
+    timings["parse"] = _clock() - started
+
+    def _per_file(parsed: ParsedModule) -> list[Finding]:
+        return apply_suppressions(
+            _run_rules(parsed, rule_classes), parsed.source_lines, parsed.path
         )
+
+    phase = _clock()
+    if rule_classes:
+        for findings in fork_map(_per_file, parsed_modules, jobs):
+            result.findings.extend(findings)
+    timings["per_file"] = _clock() - phase
+
     if whole_selected:
         # Imported here: callgraph imports Finding/ParsedModule from this
         # module, so a top-level import would be a cycle.
         from repro.lint.callgraph import build_index
 
+        phase = _clock()
         index = build_index(parsed_modules)
         if dataflow_cache_dir is not None:
             index.dataflow_cache_dir = Path(dataflow_cache_dir)  # type: ignore[attr-defined]
+        index.lint_jobs = jobs  # type: ignore[attr-defined]
+        timings["index"] = _clock() - phase
+
+        # Dataflow-backed rules all read one shared solved analysis.
+        # Solve it here, in the parent, before sharding the rule sweep:
+        # the forked rule workers then inherit the summaries through COW
+        # memory instead of each re-solving the fixed point, and the
+        # summary cache sees exactly one writer (this process).
+        phase = _clock()
+        needs_dataflow = any(
+            WHOLE_PROGRAM_REGISTRY[name].__module__ == "repro.lint.dataflow"
+            for name in whole_selected
+        )
+        if needs_dataflow:
+            from repro.lint.dataflow import get_dataflow
+
+            get_dataflow(index)
+        if jobs > 1 and any(
+            WHOLE_PROGRAM_REGISTRY[name].__module__ == "repro.lint.concurrency"
+            for name in whole_selected
+        ):
+            from repro.lint.concurrency import prewarm
+
+            prewarm(index)
+        timings["dataflow"] = _clock() - phase
+
+        def _run_whole(name: str) -> list[Finding]:
+            return WHOLE_PROGRAM_REGISTRY[name]().run(index)
+
+        phase = _clock()
         by_path: dict[str, list[Finding]] = {}
-        for name in whole_selected:
-            for finding in WHOLE_PROGRAM_REGISTRY[name]().run(index):
+        for findings in fork_map(_run_whole, list(whole_selected), jobs):
+            for finding in findings:
                 by_path.setdefault(finding.path, []).append(finding)
+        timings["whole_program"] = _clock() - phase
         analysis = getattr(index, "_dataflow", None)
         if analysis is not None:
             result.dataflow_stats = dict(analysis.stats)
@@ -548,11 +615,14 @@ def lint_paths(
                 )
             )
     result.findings = result.sorted_findings()
+    timings["total"] = _clock() - started
+    result.timings = timings
     return result
 
 
 # Built-in rules register themselves on import; placed last so the rule
 # modules can import the framework above without a cycle.
+from repro.lint import concurrency  # noqa: E402,F401
 from repro.lint import dataflow  # noqa: E402,F401
 from repro.lint import rules_determinism  # noqa: E402,F401
 from repro.lint import rules_fault  # noqa: E402,F401

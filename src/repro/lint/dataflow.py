@@ -83,6 +83,7 @@ from repro.lint.core import (
     register_whole_program_rule,
 )
 from repro.lint.flow import Cfg, build_cfg, executed_exprs, iter_statements
+from repro.lint.parallel import fork_map
 from repro.lint.rules_determinism import _BANNED_CALLS, _is_unordered_expr
 
 #: Cache entry schema — part of every entry and of the ABI digest, so an
@@ -925,12 +926,14 @@ def abi_digest(index: ProjectIndex) -> str:
             "bases": sorted(cls.bases),
             "methods": sorted(cls.methods),
             "attrs": {k: repr(v) for k, v in sorted(cls.attr_types.items())},
+            "flags": sorted(cls.flags),
         }
     for qualname, fn in sorted(index.functions.items()):
         shape["functions"][qualname] = {
             "params": _param_names(fn.node),
             "markers": sorted((m.verb, m.key) for m in fn.markers),
             "returns": _safe_unparse(fn.node.returns) if fn.node.returns else "",
+            "flags": sorted(fn.flags),
         }
     blob = json.dumps(shape, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -1002,6 +1005,13 @@ class ProjectDataflow:
         by_path: dict[str, list[FunctionInfo]] = {}
         for fn in self.index.functions.values():
             by_path.setdefault(fn.path, []).append(fn)
+        # Cache probes stay serial in this process (they're cheap and the
+        # cache object owns its hit/miss counters); only the misses — the
+        # expensive AST lowering — are sharded across forked workers,
+        # which inherit the parsed modules and the index through
+        # copy-on-write memory. The parent alone publishes cache entries,
+        # so the ``.lint-cache`` write discipline is unchanged.
+        misses: list[tuple[str, ParsedModule, list[FunctionInfo]]] = []
         for parsed in sorted(self.index.modules, key=lambda m: m.path):
             self.stats["modules"] += 1
             fns = sorted(by_path.get(parsed.path, []), key=lambda f: f.qualname)
@@ -1014,11 +1024,22 @@ class ProjectDataflow:
                 self.stats["functions"] += len(entry["functions"])
                 continue
             self.stats["summary_misses"] += 1
+            misses.append((key, parsed, fns))
+
+        def _extract_module(
+            item: tuple[str, ParsedModule, list[FunctionInfo]]
+        ) -> list[dict]:
+            _, parsed, fns = item
             aliases = _tracked_aliases(parsed.tree)
-            extracted = [
+            return [
                 _FunctionExtractor(self.index, fn, parsed, aliases).extract()
                 for fn in fns
             ]
+
+        jobs = getattr(self.index, "lint_jobs", 1)
+        for (key, parsed, _), extracted in zip(
+            misses, fork_map(_extract_module, misses, jobs)
+        ):
             self.stats["functions"] += len(extracted)
             if self.cache is not None:
                 self.cache.put(

@@ -109,6 +109,9 @@ class _SpanHandle:
         self.args.update(args)
 
 
+# concurrency: not-fork-inheritable -- sinks hold open file handles; a forked
+# child would interleave writes with the parent. Workers open a fresh session
+# per job (see repro.fleet.supervisor.execute_job).
 class TraceSession:
     """Ring-buffered event store + metric registry + sinks.
 

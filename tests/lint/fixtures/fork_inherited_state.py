@@ -1,0 +1,47 @@
+"""Seeded FORK001 violation: a not-fork-inheritable object crosses a spawn.
+
+``TraceJournal`` is marked ``# concurrency: not-fork-inheritable`` — in
+the real tree that marker sits on ``TraceSession`` and ``ResultCache``,
+whose instances hold open file handles and pipe ends. ``launch_broken``
+passes a live journal through ``Process(args=...)``: the forked child
+inherits the handle, and parent and child then race interleaved writes
+through two copies of one fd. ``launch_ok`` is the correct twin: it
+passes only the *path* and lets the child construct its own journal,
+which is exactly how the fleet's ``execute_job`` opens a fresh
+``TraceSession`` inside the worker.
+"""
+
+from multiprocessing import Process
+
+
+# concurrency: not-fork-inheritable -- stands in for an open journal file handle
+class TraceJournal:
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.events: list[str] = []
+
+    def record(self, event: str) -> None:
+        self.events.append(event)
+
+
+def child_with_journal(journal: "TraceJournal") -> None:
+    journal.record("child alive")
+
+
+def child_plain(path: str) -> None:
+    journal = TraceJournal(path)
+    journal.record("child alive")
+
+
+def launch_broken() -> None:
+    journal = TraceJournal("trace.json")
+    journal.record("parent setup")
+    worker = Process(target=child_with_journal, args=(journal,))  # BUG
+    worker.start()
+    worker.join()
+
+
+def launch_ok() -> None:
+    worker = Process(target=child_plain, args=("trace.json",))
+    worker.start()
+    worker.join()

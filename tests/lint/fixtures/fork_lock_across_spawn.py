@@ -1,0 +1,45 @@
+"""Seeded FORK002 violations: a mutex held across a process spawn.
+
+``fork`` snapshots a held lock into the child as *locked forever* — no
+thread exists there to release it, so the first child-side acquire
+deadlocks. Both broken shapes appear: a spawn lexically inside a
+``with lock:`` block (``seal_broken``) and a CFG path from
+``lock.acquire()`` that reaches ``.start()`` before ``.release()``
+(``publish_broken``). ``publish_ok`` is the correct twin — the critical
+section ends before the spawn point.
+"""
+
+import threading
+from multiprocessing import Process
+
+
+def report(stage: str) -> None:
+    _ = stage
+
+
+def seal_broken(cells: list) -> None:
+    lock = threading.Lock()
+    with lock:
+        cells.append("sealed")
+        worker = Process(target=report, args=("with",))
+        worker.start()  # BUG: still inside the with-block
+        worker.join()
+
+
+def publish_broken(cells: list) -> None:
+    lock = threading.Lock()
+    lock.acquire()
+    cells.append("sealed")
+    worker = Process(target=report, args=("acquire",))
+    worker.start()  # BUG: lock released only after the fork
+    worker.join()
+    lock.release()
+
+
+def publish_ok(cells: list) -> None:
+    lock = threading.Lock()
+    with lock:
+        cells.append("sealed")
+    worker = Process(target=report, args=("ok",))
+    worker.start()
+    worker.join()

@@ -1,0 +1,34 @@
+"""Seeded PIPE002 violations: recv-after-close and double-close.
+
+The connection typestate is *open -> send/recv/poll -> closed*, and
+closed has no outgoing transitions. ``drain_broken`` recv's after its
+own close — an ``OSError`` at runtime, which inside a pool worker turns
+a clean shutdown into a crash outcome and a wasted recycle.
+``teardown_broken`` closes twice — two owners disagreeing about who
+ends the connection's life. ``drain_ok`` is the correct twin.
+"""
+
+from multiprocessing.connection import Connection
+
+
+def drain_broken(conn: Connection) -> list:
+    out = []
+    while conn.poll():
+        out.append(conn.recv())
+    conn.close()
+    out.append(conn.recv())  # BUG: typestate is closed here
+    return out
+
+
+def teardown_broken(conn: Connection) -> None:
+    conn.send(None)
+    conn.close()
+    conn.close()  # BUG: double close
+
+
+def drain_ok(conn: Connection) -> list:
+    out = []
+    while conn.poll():
+        out.append(conn.recv())
+    conn.close()
+    return out

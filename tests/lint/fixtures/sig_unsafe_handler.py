@@ -1,0 +1,45 @@
+"""Seeded SIG001 violation: a signal handler doing unsafe work.
+
+A Python signal handler runs between two arbitrary bytecodes of the
+interrupted frame: anything that allocates, locks, or touches buffered
+I/O (``print``, ``logging``, pipe sends) can deadlock or corrupt state
+mid-mutation. ``handle_broken`` calls a helper that prints — flagged
+transitively through the call graph. ``handle_ok`` is the correct twin:
+it only sets a module flag and calls a helper adjudicated with
+``# concurrency: signal-safe`` (a single ``os.write`` to a wakeup fd,
+the self-pipe trick the fleet dispatcher uses).
+"""
+
+import os
+import signal
+
+_interrupted = False
+
+
+def log_interrupt(signum: int) -> None:
+    print("interrupted by", signum)  # BUG: buffered I/O in handler context
+
+
+def handle_broken(signum, frame) -> None:
+    log_interrupt(signum)
+
+
+# concurrency: signal-safe -- one os.write of one preformatted byte to the
+# wakeup fd; the bytes() allocation is adjudicated (no lock is held, and
+# CPython runs handlers between bytecodes, never inside the allocator)
+def wake(fd: int, signum: int) -> None:
+    os.write(fd, bytes([signum & 0x7F]))
+
+
+def handle_ok(signum, frame) -> None:
+    global _interrupted
+    _interrupted = True
+    wake(1, signum)
+
+
+def install_broken() -> None:
+    signal.signal(signal.SIGTERM, handle_broken)
+
+
+def install_ok() -> None:
+    signal.signal(signal.SIGTERM, handle_ok)

@@ -32,10 +32,15 @@ def test_all_expected_whole_program_rules_registered():
     assert set(WHOLE_PROGRAM_RULES) == {
         "DETFLOW001",
         "DETFLOW002",
+        "FORK001",
+        "FORK002",
+        "PIPE001",
+        "PIPE002",
         "PROV001",
         "RES001",
         "RES002",
         "SHOOT001",
+        "SIG001",
         "SPAN001",
         "TLBGEN001",
         "TLBGEN002",

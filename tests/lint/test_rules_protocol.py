@@ -68,10 +68,15 @@ class TestFixturesFire:
         assert {f.rule for f in result.findings} == {
             "DETFLOW001",
             "DETFLOW002",
+            "FORK001",
+            "FORK002",
+            "PIPE001",
+            "PIPE002",
             "PROV001",
             "RES001",
             "RES002",
             "SHOOT001",
+            "SIG001",
             "SPAN001",
             "TLBGEN001",
             "TLBGEN002",
